@@ -1,0 +1,98 @@
+"""Theorems 3, 5, 6, 7: polynomial data complexity of the chase.
+
+For one representative constraint set per termination class, runs the
+chase over growing instances and checks that the sequence length grows
+polynomially in |dom(I)| (log-log slope bounded by a small constant).
+The paper proves the bounds; the bench measures the actual curves.
+"""
+
+import math
+
+import pytest
+
+from repro.chase import chase
+from repro.workloads.families import special_nodes_instance
+from repro.workloads.paper import (example8_beta, example10, example13,
+                                   example2_gamma, figure2)
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+
+SIZES = [4, 8, 16, 32]
+
+
+def _r_instance(n):
+    """Reshape a path into the ternary R/S schema of Example 9."""
+    from repro.lang.terms import Constant
+    facts = []
+    for i in range(n):
+        facts.append(Atom("R", (Constant(f"c{i}"), Constant(f"c{i+1}"),
+                                Constant(f"c{i}"))))
+        facts.append(Atom("S", (Constant(f"c{i}"),)))
+    return Instance(facts)
+
+
+def _graph_instance(n):
+    return special_nodes_instance(n, spacing=2)
+
+
+CLASSES = [
+    ("safe_example9", example8_beta, _r_instance, "Theorem 5"),
+    ("c_stratified_gamma", example2_gamma,
+     lambda n: Instance([Atom("E", (a, b)) for a, b in _cycle_pairs(n)]),
+     "Theorem 3"),
+    ("inductively_restricted_ex13", example13, _graph_instance, "Theorem 6"),
+    ("t3_figure2", figure2, _graph_instance, "Theorem 7"),
+]
+
+
+def _cycle_pairs(n):
+    from repro.lang.terms import Constant
+    out = []
+    for i in range(n):
+        out.append((Constant(f"c{i}"), Constant(f"c{(i+1) % n}")))
+        out.append((Constant(f"c{(i+1) % n}"), Constant(f"c{i}")))
+    return out
+
+
+def _measure_lengths(factory, instance_builder):
+    lengths = []
+    domains = []
+    for size in SIZES:
+        inst = instance_builder(size)
+        result = chase(inst, factory(), max_steps=2_000_000)
+        assert result.terminated, f"size {size} did not terminate"
+        lengths.append(max(result.length, 1))
+        domains.append(max(len(inst.domain()), 2))
+    return domains, lengths
+
+
+@pytest.mark.paper_artifact("Theorems 3/5/6/7")
+@pytest.mark.parametrize("name,factory,instance_builder,theorem", CLASSES,
+                         ids=[c[0] for c in CLASSES])
+def test_polynomial_chase_length(benchmark, name, factory,
+                                 instance_builder, theorem):
+    domains, lengths = benchmark(_measure_lengths, factory,
+                                 instance_builder)
+    # log-log slope between the extreme points
+    slope = (math.log(lengths[-1] / lengths[0])
+             / math.log(domains[-1] / domains[0]))
+    print(f"\n{theorem} [{name}]: dom sizes {domains} -> "
+          f"chase lengths {lengths} (log-log slope {slope:.2f})")
+    assert slope <= 3.5, (
+        f"{name}: chase length grows superpolynomially-looking "
+        f"(slope {slope:.2f})")
+
+
+@pytest.mark.paper_artifact("Introduction")
+def test_divergent_set_for_contrast(benchmark):
+    """The divergent intro set burns its entire budget at every size --
+    the contrast curve for the polynomial classes above."""
+    from repro.workloads.paper import intro_alpha2
+    sigma = intro_alpha2()
+
+    def run():
+        return chase(special_nodes_instance(8), sigma, max_steps=500)
+
+    result = benchmark(run)
+    assert not result.terminated
+    assert result.length == 500

@@ -1,0 +1,88 @@
+"""Figure 1: the termination-condition landscape.
+
+Regenerates the full membership matrix (every paper constraint set x
+every condition), asserts all strict-inclusion witnesses, and times
+each recognizer on the corpus.  The printed matrix *is* Figure 1 in
+tabular form.
+"""
+
+import pytest
+
+from repro.termination import (is_c_stratified, is_inductively_restricted,
+                               is_safe, is_safely_restricted, is_stratified,
+                               is_weakly_acyclic, PrecedenceOracle)
+from repro.workloads.paper import NAMED_SETS
+
+#: (set name) -> expected row: WA, safe, c-strat, strat, safe-R, IR
+EXPECTED = {
+    "intro_alpha1":        (True, True, True, True, True, True),
+    "intro_alpha2":        (False, False, False, False, False, False),
+    "intro_alpha3":        (False, True, True, True, True, True),
+    "intro_betas":         (False, False, False, False, True, True),
+    "intro_betas_ext":     (False, False, False, False, False, True),
+    "figure2":             (False, False, False, False, False, False),
+    "example2_gamma":      (False, False, True, True, True, True),
+    "example4":            (False, False, False, True, False, False),
+    "example8_beta":       (False, True, True, True, True, True),
+    "thm4_safe_not_strat": (False, True, False, False, True, True),
+    "example10":           (False, False, False, False, True, True),
+    "example13":           (False, False, False, False, False, True),
+    "sigma_double_prime":  (False, False, False, False, False, True),
+    "figure9":             (False, False, False, False, False, False),
+    "example17":           (False, False, False, False, False, False),
+    "example19":           (False, False, True, True, True, True),
+}
+
+CONDITIONS = [
+    ("weakly_acyclic", lambda s, o: is_weakly_acyclic(s)),
+    ("safe", lambda s, o: is_safe(s)),
+    ("c_stratified", lambda s, o: is_c_stratified(s, o)),
+    ("stratified", lambda s, o: is_stratified(s, o)),
+    ("safely_restricted", lambda s, o: is_safely_restricted(s, o)),
+    ("inductively_restricted",
+     lambda s, o: is_inductively_restricted(s, o)),
+]
+
+
+def _full_matrix(oracle):
+    matrix = {}
+    for name, (factory, _description) in NAMED_SETS.items():
+        sigma = factory()
+        matrix[name] = tuple(fn(sigma, oracle) for _n, fn in CONDITIONS)
+    return matrix
+
+
+@pytest.mark.paper_artifact("Figure 1")
+def test_figure1_matrix(benchmark):
+    """Times the full 16-set x 6-condition classification sweep and
+    asserts every membership against the paper."""
+    oracle = PrecedenceOracle()
+    _full_matrix(oracle)  # warm the oracle cache once
+    matrix = benchmark(_full_matrix, oracle)
+    failures = []
+    for name, expected in EXPECTED.items():
+        if matrix[name] != expected:
+            failures.append((name, expected, matrix[name]))
+    print("\nFigure 1 membership matrix "
+          "(WA, safe, c-strat, strat, safe-R, IR):")
+    for name, row in matrix.items():
+        marks = " ".join("X" if v else "." for v in row)
+        print(f"  {name:<22} {marks}")
+    assert not failures, failures
+
+
+@pytest.mark.paper_artifact("Figure 1")
+@pytest.mark.parametrize("condition_name,fn", CONDITIONS,
+                         ids=[n for n, _f in CONDITIONS])
+def test_single_condition_cost(benchmark, condition_name, fn):
+    """Per-condition cost over the corpus: the polynomial checks (WA,
+    safety) should be orders of magnitude cheaper than the coNP ones."""
+    corpus = [factory() for factory, _d in NAMED_SETS.values()]
+    oracle = PrecedenceOracle()
+    for sigma in corpus:  # warm cache so timing reflects steady state
+        fn(sigma, oracle)
+
+    def sweep():
+        return [fn(sigma, oracle) for sigma in corpus]
+
+    benchmark(sweep)

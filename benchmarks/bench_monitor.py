@@ -1,0 +1,89 @@
+"""Section 4.2 / Proposition 11: the monitor graph, k-cyclicity and
+the pay-as-you-go curve.
+
+For the family (Sigma_k, I_k): every chase sequence is (k-1)- but not
+k-cyclic, so a cycle limit of k-1 aborts while k succeeds -- larger
+limits succeed on strictly more inputs.  We also measure the
+monitoring overhead against an unmonitored chase.
+"""
+
+import pytest
+
+from repro.chase import chase
+from repro.datadep.monitor import MonitorGraph
+from repro.datadep.monitored_chase import monitored_chase, pay_as_you_go
+from repro.lang.parser import parse_constraints, parse_instance
+from repro.workloads.families import prop11_family, special_nodes_instance
+
+
+@pytest.mark.paper_artifact("Proposition 11")
+@pytest.mark.parametrize("k", [3, 5, 7])
+def test_cyclicity_frontier(benchmark, k):
+    sigma, inst = prop11_family(k)
+
+    def run():
+        result = chase(inst, sigma)
+        return result, MonitorGraph.from_sequence(result.sequence)
+
+    result, graph = benchmark(run)
+    assert result.terminated
+    assert graph.cycle_depth == k - 1
+    print(f"\n(Sigma_{k}, I_{k}): chase length {result.length}, "
+          f"cycle depth {graph.cycle_depth} -> (k-1)-cyclic, not k-cyclic")
+
+
+@pytest.mark.paper_artifact("Proposition 11")
+@pytest.mark.parametrize("k", [4, 6])
+def test_pay_as_you_go_curve(benchmark, k):
+    """The first cycle limit that lets the chase finish is exactly k."""
+    sigma, inst = prop11_family(k)
+
+    def run():
+        return pay_as_you_go(inst, sigma, max_cycle_limit=k + 2)
+
+    result = benchmark(run)
+    assert not result.aborted
+    assert result.cycle_limit == k
+
+
+@pytest.mark.paper_artifact("Section 4.2")
+def test_monitoring_overhead(benchmark):
+    """Monitored vs plain chase on a terminating workload: the
+    overhead of maintaining the monitor graph."""
+    sigma = parse_constraints("S(x), E(x,y) -> E(y,z)")
+    inst = special_nodes_instance(24, spacing=2)
+
+    def run():
+        return monitored_chase(inst, sigma, cycle_limit=10,
+                               max_steps=100_000)
+
+    result = benchmark(run)
+    assert not result.aborted
+
+
+@pytest.mark.paper_artifact("Section 4.2")
+def test_plain_chase_baseline(benchmark):
+    sigma = parse_constraints("S(x), E(x,y) -> E(y,z)")
+    inst = special_nodes_instance(24, spacing=2)
+
+    def run():
+        return chase(inst, sigma, max_steps=100_000)
+
+    result = benchmark(run)
+    assert result.terminated
+
+
+@pytest.mark.paper_artifact("Section 4.2")
+def test_divergence_caught_early(benchmark):
+    """On the divergent intro set the monitor aborts after O(limit)
+    steps -- versus a 10^4-step timeout for blind budgeting."""
+    sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+    inst = parse_instance("S(a)")
+
+    def run():
+        return monitored_chase(inst, sigma, cycle_limit=3,
+                               max_steps=100_000)
+
+    result = benchmark(run)
+    assert result.aborted
+    assert result.result.length < 25

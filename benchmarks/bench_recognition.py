@@ -1,0 +1,89 @@
+"""Proposition 1, Lemma 2, Propositions 3/4: recognition costs.
+
+Measures the wall-clock cost of each recognizer as the number of
+constraints grows (random corpora), and the safety fast-path ablation
+of the Figure 8 ``check`` algorithm (Section 3.7's motivation).
+"""
+
+import pytest
+
+from repro.termination import (check, in_t_level, is_inductively_restricted,
+                               is_safe, is_stratified, is_weakly_acyclic,
+                               PrecedenceOracle)
+from repro.termination.restriction import minimal_restriction_system, part
+from repro.workloads.generators import random_constraint_set
+from repro.workloads.paper import section37_sigma_double_prime
+
+SIZES = [2, 4, 6]
+
+
+@pytest.mark.paper_artifact("polynomial recognizers")
+@pytest.mark.parametrize("size", SIZES)
+def test_weak_acyclicity_cost(benchmark, size):
+    sigma = random_constraint_set(seed=size, size=size)
+    assert benchmark(is_weakly_acyclic, sigma) in (True, False)
+
+
+@pytest.mark.paper_artifact("polynomial recognizers")
+@pytest.mark.parametrize("size", SIZES)
+def test_safety_cost(benchmark, size):
+    sigma = random_constraint_set(seed=size, size=size)
+    assert benchmark(is_safe, sigma) in (True, False)
+
+
+@pytest.mark.paper_artifact("Proposition 1 (coNP)")
+@pytest.mark.parametrize("size", SIZES)
+def test_stratification_cost(benchmark, size):
+    sigma = random_constraint_set(seed=size, size=size)
+
+    def run():
+        return is_stratified(sigma, PrecedenceOracle())
+
+    assert benchmark(run) in (True, False)
+
+
+@pytest.mark.paper_artifact("Lemma 2 (coNP)")
+@pytest.mark.parametrize("size", SIZES)
+def test_inductive_restriction_cost(benchmark, size):
+    sigma = random_constraint_set(seed=size, size=size)
+
+    def run():
+        return is_inductively_restricted(sigma, PrecedenceOracle())
+
+    assert benchmark(run) in (True, False)
+
+
+@pytest.mark.paper_artifact("Figure 8 ablation")
+def test_check_with_safety_fast_path(benchmark):
+    """check() on Sigma'' -- the walkthrough set where the fast-path
+    certifies {a5} without a restriction system."""
+    sigma = section37_sigma_double_prime()
+
+    def run():
+        return check(sigma, 2, PrecedenceOracle())
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.paper_artifact("Figure 8 ablation")
+def test_part_without_fast_path(benchmark):
+    """The ablation baseline: the literal Definition 16 test computes
+    restriction systems for every recursive component."""
+    sigma = section37_sigma_double_prime()
+
+    def run():
+        return in_t_level(sigma, 2, PrecedenceOracle())
+
+    assert benchmark(run) is True
+
+
+@pytest.mark.paper_artifact("Proposition 4")
+def test_restriction_system_cost(benchmark):
+    """Cost of one minimal 2-restriction-system fixpoint."""
+    sigma = section37_sigma_double_prime()
+
+    def run():
+        return minimal_restriction_system(sigma, 2, PrecedenceOracle())
+
+    system = benchmark(run)
+    assert len(system.edges()) >= 4

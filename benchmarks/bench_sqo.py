@@ -1,0 +1,69 @@
+"""Section 4 / Example 16: the travel-agency SQO pipeline.
+
+Times the data-dependent analysis (irrelevance + Lemma 4), the
+universal-plan chase of q2, and the full rewriting enumeration that
+produces q2'' and q2'''.
+"""
+
+import pytest
+
+from repro.cq import equivalent, optimize, universal_plan
+from repro.datadep import (monitored_chase, relevant_constraints,
+                           terminates_statically)
+from repro.workloads.paper import (figure9, query_q1, query_q2,
+                                   query_q2_double_prime)
+
+
+@pytest.mark.paper_artifact("Example 16")
+def test_static_analysis_q2(benchmark):
+    sigma = figure9()
+    frozen, _ = query_q2().freeze()
+
+    def run():
+        from repro.termination import PrecedenceOracle
+        oracle = PrecedenceOracle()
+        relevant = relevant_constraints(frozen, sigma, oracle)
+        return relevant, terminates_statically(frozen, sigma, oracle=oracle)
+
+    relevant, level = benchmark(run)
+    assert {c.label for c in relevant} == {"a1"}
+    assert level == 2
+
+
+@pytest.mark.paper_artifact("Section 4")
+def test_q1_divergence_detection(benchmark):
+    sigma = figure9()
+    frozen, _ = query_q1().freeze()
+
+    def run():
+        return monitored_chase(frozen, sigma, 2, max_steps=50_000)
+
+    result = benchmark(run)
+    assert result.aborted
+
+
+@pytest.mark.paper_artifact("Section 4 (q2')")
+def test_universal_plan_q2(benchmark):
+    sigma = figure9()
+
+    def run():
+        return universal_plan(query_q2(), sigma, cycle_limit=3)
+
+    plan = benchmark(run)
+    assert len(plan.body) == 6
+
+
+@pytest.mark.paper_artifact("Section 4 (q2'', q2''')")
+def test_full_rewriting_search(benchmark):
+    sigma = figure9()
+
+    def run():
+        return optimize(query_q2(), sigma, cycle_limit=3)
+
+    result = benchmark(run)
+    best = result.minimal_rewritings()
+    assert best and len(best[0].body) == 3
+    assert any(equivalent(q, query_q2_double_prime()) for q in best)
+    print(f"\nq2: {len(result.rewritings)} equivalent rewritings, "
+          f"minimal size {len(best[0].body)} atoms "
+          f"(original: {len(query_q2().body)})")

@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates a figure/example/theorem artifact of the
+paper and asserts its shape, while pytest-benchmark reports the
+timing.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): which figure/table the "
+        "benchmark regenerates")

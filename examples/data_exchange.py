@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Data exchange with chase-termination guarantees.
+
+The chase's home turf (Fagin et al. [21], cited throughout the paper):
+materialize a *target* database from a *source* database under
+source-to-target and target TGDs, the universal solution being the
+chase result.  Termination analysis decides up front whether
+materialization is safe, and the core chase produces the canonical
+(smallest) universal solution.
+
+Run:  python examples/data_exchange.py
+"""
+
+from repro import analyze, chase, parse_constraints, parse_instance
+from repro.chase.core import is_core
+from repro.chase.core_chase import core_chase
+from repro.homomorphism.extend import all_satisfied
+
+
+def main() -> None:
+    # Source schema: emp(name, dept), mgr(dept, boss)
+    # Target schema: worksIn(name, dept), dept(dept), reportsTo(name, boss)
+    mapping = parse_constraints("""
+        m1: emp(n, d) -> worksIn(n, d), dept(d);
+        m2: emp(n, d), mgr(d, b) -> reportsTo(n, b);
+        t1: dept(d) -> worksIn(p, d);
+        t2: worksIn(n, d) -> dept(d)
+    """)
+
+    print("=== schema mapping ===")
+    for constraint in mapping:
+        print(f"  {constraint.label}: {constraint}")
+
+    report = analyze(mapping, max_k=2)
+    print(f"\ntermination guarantee: "
+          f"{'yes' if report.guarantees_all_sequences else 'NO'}"
+          f" (safe={report.safe}, "
+          f"inductively restricted={report.inductively_restricted})")
+    assert report.guarantees_all_sequences
+
+    source = parse_instance("""
+        emp(ada, research). emp(grace, systems).
+        mgr(research, turing). mgr(systems, hopper).
+        dept(archive)
+    """)
+
+    # Ordinary chase: a universal solution.
+    solution = chase(source, mapping)
+    assert solution.terminated
+    assert all_satisfied(mapping, solution.instance)
+    print(f"\nuniversal solution ({len(solution.instance)} facts, "
+          f"{solution.new_null_count()} labeled nulls):")
+    print("  " + "\n  ".join(sorted(map(str, solution.instance))))
+
+    # Core chase: the *canonical* (smallest) universal solution.
+    canonical = core_chase(source, mapping)
+    assert canonical.terminated and is_core(canonical.instance)
+    print(f"\ncore universal solution ({len(canonical.instance)} facts):")
+    print("  " + "\n  ".join(sorted(map(str, canonical.instance))))
+
+    # Certain answers of a target query = evaluation on the core,
+    # dropping null tuples.
+    from repro import parse_query
+    query = parse_query("q(n, d) <- worksIn(n, d)")
+    answers = query.evaluate(canonical.instance)
+    print(f"\ncertain answers of {query}:")
+    for row in sorted(str(tuple(map(str, r))) for r in answers):
+        print(f"  {row}")
+
+
+if __name__ == "__main__":
+    main()

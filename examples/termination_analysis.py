@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Classify every named constraint set of the paper (Figure 1 matrix).
+
+Prints one row per constraint set and one column per termination
+condition -- the separations visible in the output ARE Figure 1: each
+class is non-empty strictly above the previous one, and
+stratified/inductively-restricted as well as safe/c-stratified are
+incomparable.
+
+Run:  python examples/termination_analysis.py
+"""
+
+from repro.termination import analyze
+from repro.workloads.paper import NAMED_SETS
+
+COLUMNS = [
+    ("WA", "weakly_acyclic"),
+    ("safe", "safe"),
+    ("c-strat", "c_stratified"),
+    ("strat", "stratified"),
+    ("safe-R", "safely_restricted"),
+    ("IR", "inductively_restricted"),
+]
+
+
+def mark(flag: bool) -> str:
+    return "X" if flag else "."
+
+
+def main() -> None:
+    name_width = max(len(name) for name in NAMED_SETS) + 2
+    header = "".join(f"{title:>9}" for title, _ in COLUMNS)
+    print(f"{'constraint set':<{name_width}}{header}{'T-level':>9}   description")
+    print("-" * (name_width + 9 * (len(COLUMNS) + 1) + 30))
+    for name, (factory, description) in NAMED_SETS.items():
+        sigma = factory()
+        report = analyze(sigma, max_k=3)
+        cells = "".join(f"{mark(getattr(report, attr)):>9}"
+                        for _, attr in COLUMNS)
+        level = (f"T[{report.t_hierarchy_level}]"
+                 if report.t_hierarchy_level else "-")
+        print(f"{name:<{name_width}}{cells}{level:>9}   {description}")
+
+    print()
+    print("Separating witnesses (all strict inclusions of Figure 1):")
+    print("  WA  c safe            : example8_beta  (safe, not WA)")
+    print("  safe c IR             : example13      (IR, not safe)")
+    print("  IR = T[2] c T[3]      : figure2        (T[3], not T[2])")
+    print("  WA  c c-strat         : example2_gamma (c-strat, not WA)")
+    print("  c-strat c strat       : example4       (strat, not c-strat)")
+    print("  safe || c-strat       : thm4_safe_not_strat / example2_gamma")
+    print("  strat || IR           : example4 / example13")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""The chase engine: steps, strategies, runners, core computation."""
+
+from repro.chase.core import core, is_core
+from repro.chase.core_chase import core_chase
+from repro.chase.result import ChaseResult, ChaseStatus
+from repro.chase.runner import (AbortChase, chase, chase_with_budget_probe,
+                                DEFAULT_MAX_STEPS, oblivious_chase)
+from repro.chase.step import (apply_egd_step, apply_step, apply_tgd_step,
+                              ChaseStep)
+from repro.chase.strategies import (OrderedStrategy, RandomStrategy,
+                                    RoundRobinStrategy, StratifiedStrategy,
+                                    Strategy)
+
+__all__ = [
+    "core", "core_chase", "is_core", "ChaseResult", "ChaseStatus", "AbortChase", "chase",
+    "chase_with_budget_probe", "DEFAULT_MAX_STEPS", "oblivious_chase",
+    "apply_egd_step", "apply_step", "apply_tgd_step", "ChaseStep",
+    "OrderedStrategy", "RandomStrategy", "RoundRobinStrategy",
+    "StratifiedStrategy", "Strategy",
+]

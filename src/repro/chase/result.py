@@ -1,0 +1,67 @@
+"""Chase run outcomes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.chase.step import ChaseStep
+from repro.lang.instance import Instance
+
+
+class ChaseStatus(enum.Enum):
+    """Possible outcomes of a chase run.
+
+    ``TERMINATED``
+        A finite chase sequence ended with ``I^Sigma |= Sigma``.
+    ``FAILED``
+        An EGD step tried to equate two distinct constants: the chase
+        result is undefined (Section 2).
+    ``EXCEEDED_BUDGET``
+        The step budget ran out before a fixpoint was reached; no
+        statement about termination can be made.
+    ``ABORTED_BY_MONITOR``
+        A monitored chase (Section 4.2) hit its k-cyclicity limit.
+    """
+
+    TERMINATED = "terminated"
+    FAILED = "failed"
+    EXCEEDED_BUDGET = "exceeded_budget"
+    ABORTED_BY_MONITOR = "aborted_by_monitor"
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase run.
+
+    ``instance`` is the final instance (for ``FAILED`` runs: the state
+    just before the failing step; the chase *result* in the paper's
+    sense is undefined then).  ``sequence`` is the full list of
+    executed steps, which downstream analyses (monitor graphs, the
+    guarded-null property) consume.
+    """
+
+    status: ChaseStatus
+    instance: Instance
+    sequence: Sequence[ChaseStep] = field(default_factory=list)
+    failure_reason: Optional[str] = None
+
+    @property
+    def terminated(self) -> bool:
+        return self.status is ChaseStatus.TERMINATED
+
+    @property
+    def length(self) -> int:
+        """The length of the chase sequence (number of steps)."""
+        return len(self.sequence)
+
+    def new_null_count(self) -> int:
+        return sum(len(step.new_nulls) for step in self.sequence)
+
+    def describe(self) -> str:
+        lines = [f"status: {self.status.value}, steps: {self.length}"]
+        for step in self.sequence:
+            added = ", ".join(str(f) for f in step.new_facts) or "(nothing)"
+            lines.append(f"  {step.describe()} added {added}")
+        return "\n".join(lines)

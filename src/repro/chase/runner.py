@@ -1,0 +1,155 @@
+"""Chase runners: the standard chase and the oblivious chase.
+
+``chase`` repeatedly fires active triggers until either the instance
+satisfies the constraint set (``TERMINATED``), an EGD fails
+(``FAILED``), the step budget is exhausted (``EXCEEDED_BUDGET``) or an
+observer aborts the run (``ABORTED_BY_MONITOR``; see Section 4.2 of
+the paper and :mod:`repro.datadep.monitored_chase`).
+
+``oblivious_chase`` fires every (constraint, body-homomorphism) pair
+exactly once regardless of satisfaction -- the variant underlying the
+corrected stratification condition of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.chase.result import ChaseResult, ChaseStatus
+from repro.chase.step import ChaseStep, apply_step
+from repro.chase.strategies import RoundRobinStrategy, Strategy
+from repro.homomorphism.engine import find_homomorphisms
+from repro.homomorphism.extend import trigger_key
+from repro.lang.constraints import Constraint
+from repro.lang.errors import ChaseFailure
+from repro.lang.instance import Instance
+from repro.lang.terms import NullFactory, NULLS
+
+Observer = Callable[[ChaseStep, Instance], None]
+
+
+class AbortChase(Exception):
+    """Raised by an observer to abort the run (monitored chase)."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+DEFAULT_MAX_STEPS = 10_000
+
+
+def chase(instance: Instance, sigma: Iterable[Constraint],
+          strategy: Optional[Strategy] = None,
+          max_steps: int = DEFAULT_MAX_STEPS,
+          copy: bool = True,
+          nulls: NullFactory = NULLS,
+          observers: Sequence[Observer] = ()) -> ChaseResult:
+    """Run the standard chase of ``instance`` with ``sigma``.
+
+    The input instance is left untouched unless ``copy=False``.
+    """
+    sigma = list(sigma)
+    working = instance.copy() if copy else instance
+    if strategy is None:
+        strategy = RoundRobinStrategy()
+    strategy.start(sigma, working)
+    sequence: list[ChaseStep] = []
+    for index in range(max_steps):
+        selection = strategy.select(working)
+        if selection is None:
+            return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+        constraint, assignment = selection
+        try:
+            step = apply_step(working, constraint, assignment,
+                              index=index, nulls=nulls)
+        except ChaseFailure as failure:
+            return ChaseResult(ChaseStatus.FAILED, working, sequence,
+                               failure_reason=str(failure))
+        sequence.append(step)
+        try:
+            for observer in observers:
+                observer(step, working)
+        except AbortChase as abort:
+            return ChaseResult(ChaseStatus.ABORTED_BY_MONITOR, working,
+                               sequence, failure_reason=abort.reason)
+    return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working, sequence)
+
+
+def oblivious_chase(instance: Instance, sigma: Iterable[Constraint],
+                    max_steps: int = DEFAULT_MAX_STEPS,
+                    copy: bool = True,
+                    nulls: NullFactory = NULLS,
+                    observers: Sequence[Observer] = ()) -> ChaseResult:
+    """Run the oblivious chase: every trigger fires exactly once.
+
+    Triggers are identified by (constraint, body image); new facts
+    create new triggers, so the run terminates only when no unfired
+    trigger remains or the budget runs out.
+    """
+    sigma = list(sigma)
+    working = instance.copy() if copy else instance
+    fired: set[tuple] = set()
+    sequence: list[ChaseStep] = []
+    index = 0
+    progress = True
+    while progress:
+        progress = False
+        for constraint in sigma:
+            for assignment in find_homomorphisms(list(constraint.body),
+                                                 working):
+                key = trigger_key(constraint, assignment)
+                if key in fired:
+                    continue
+                fired.add(key)
+                if constraint.is_egd:
+                    left = assignment[constraint.lhs]      # type: ignore[attr-defined]
+                    right = assignment[constraint.rhs]     # type: ignore[attr-defined]
+                    if left == right:
+                        continue
+                if index >= max_steps:
+                    return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working,
+                                       sequence)
+                try:
+                    step = apply_step(working, constraint, assignment,
+                                      index=index, oblivious=True,
+                                      nulls=nulls)
+                except ChaseFailure as failure:
+                    return ChaseResult(ChaseStatus.FAILED, working, sequence,
+                                       failure_reason=str(failure))
+                index += 1
+                sequence.append(step)
+                progress = True
+                try:
+                    for observer in observers:
+                        observer(step, working)
+                except AbortChase as abort:
+                    return ChaseResult(ChaseStatus.ABORTED_BY_MONITOR,
+                                       working, sequence,
+                                       failure_reason=abort.reason)
+                # Restart enumeration: the instance (and hence the
+                # trigger set) changed under our feet.
+                break
+            else:
+                continue
+            break
+    return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+
+
+def chase_with_budget_probe(instance: Instance, sigma: Iterable[Constraint],
+                            budgets: Sequence[int],
+                            strategy_factory=RoundRobinStrategy
+                            ) -> tuple[ChaseResult, int]:
+    """Run the chase with increasing budgets; return the first result
+    that is not ``EXCEEDED_BUDGET`` (or the last one), plus the budget
+    used.  Convenient for divergence experiments."""
+    result: ChaseResult | None = None
+    used = 0
+    for budget in budgets:
+        used = budget
+        result = chase(instance, sigma, strategy=strategy_factory(),
+                       max_steps=budget)
+        if result.status is not ChaseStatus.EXCEEDED_BUDGET:
+            return result, used
+    assert result is not None
+    return result, used

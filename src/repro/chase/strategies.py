@@ -1,0 +1,150 @@
+"""Chase application strategies (which applicable constraint fires next).
+
+The paper imposes "no strict order what constraint must be applied in
+case several constraints apply" (Section 2) -- so the engine is
+parameterized by a strategy.  Three are essential to the reproduction:
+
+* :class:`OrderedStrategy` / :class:`RoundRobinStrategy` reproduce the
+  divergent sequence of Example 4 (apply alpha_1..alpha_4 cyclically);
+* :class:`RandomStrategy` exercises order-independence properties;
+* :class:`StratifiedStrategy` implements Theorem 2: chase the strongly
+  connected components of the chase graph in topological order, which
+  yields a terminating sequence for every stratified constraint set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.homomorphism.engine import Assignment, find_homomorphisms
+from repro.homomorphism.extend import head_extends, violation
+from repro.lang.constraints import Constraint, EGD, TGD
+from repro.lang.instance import Instance
+
+Selection = Optional[tuple[Constraint, Assignment]]
+
+
+class Strategy:
+    """Base class: pick the next (constraint, active trigger) pair."""
+
+    def start(self, sigma: Sequence[Constraint], instance: Instance) -> None:
+        """Called once before the run begins."""
+
+    def select(self, instance: Instance) -> Selection:
+        """Return the next step to execute, or None when ``I |= Sigma``."""
+        raise NotImplementedError
+
+
+class OrderedStrategy(Strategy):
+    """Always fire the first violated constraint in the listed order."""
+
+    def start(self, sigma: Sequence[Constraint], instance: Instance) -> None:
+        self._sigma = list(sigma)
+
+    def select(self, instance: Instance) -> Selection:
+        for constraint in self._sigma:
+            assignment = violation(constraint, instance)
+            if assignment is not None:
+                return constraint, assignment
+        return None
+
+
+class RoundRobinStrategy(Strategy):
+    """Cycle through the constraints, firing each at most once per turn.
+
+    With Example 4's constraint set this reproduces the paper's
+    divergent sequence ``alpha_1, ..., alpha_4, alpha_1, ...``.
+    """
+
+    def start(self, sigma: Sequence[Constraint], instance: Instance) -> None:
+        self._sigma = list(sigma)
+        self._cursor = 0
+
+    def select(self, instance: Instance) -> Selection:
+        n = len(self._sigma)
+        for offset in range(n):
+            constraint = self._sigma[(self._cursor + offset) % n]
+            assignment = violation(constraint, instance)
+            if assignment is not None:
+                self._cursor = (self._cursor + offset + 1) % n
+                return constraint, assignment
+        return None
+
+
+class RandomStrategy(Strategy):
+    """Pick a uniformly random active trigger (seeded)."""
+
+    def __init__(self, seed: int = 0, trigger_cap: int = 16) -> None:
+        self._rng = random.Random(seed)
+        self._trigger_cap = trigger_cap
+
+    def start(self, sigma: Sequence[Constraint], instance: Instance) -> None:
+        self._sigma = list(sigma)
+
+    def select(self, instance: Instance) -> Selection:
+        candidates: list[tuple[Constraint, Assignment]] = []
+        for constraint in self._sigma:
+            count = 0
+            for assignment in find_homomorphisms(list(constraint.body),
+                                                 instance):
+                if isinstance(constraint, TGD):
+                    active = not head_extends(constraint, instance, assignment)
+                else:
+                    assert isinstance(constraint, EGD)
+                    active = (assignment[constraint.lhs]
+                              != assignment[constraint.rhs])
+                if active:
+                    candidates.append((constraint, assignment))
+                    count += 1
+                    if count >= self._trigger_cap:
+                        break
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+
+class StratifiedStrategy(Strategy):
+    """Theorem 2: chase stratum by stratum.
+
+    ``strata`` is a topologically sorted partition of the constraint
+    set (as produced by
+    :func:`repro.termination.stratification.chase_strata`).  The
+    strategy chases the first stratum to satisfaction, then the second,
+    and so on; Theorem 2 shows later strata never re-violate earlier
+    ones, which the optional ``verify`` mode asserts.
+    """
+
+    def __init__(self, strata: Sequence[Iterable[Constraint]],
+                 verify: bool = False) -> None:
+        self._strata = [list(stratum) for stratum in strata]
+        self._verify = verify
+        self._level = 0
+
+    def start(self, sigma: Sequence[Constraint], instance: Instance) -> None:
+        covered = {c for stratum in self._strata for c in stratum}
+        missing = [c for c in sigma if c not in covered]
+        if missing:
+            raise ValueError(
+                "strata do not cover the constraint set: missing "
+                + ", ".join(c.display_name() for c in missing))
+        self._level = 0
+
+    def select(self, instance: Instance) -> Selection:
+        while self._level < len(self._strata):
+            for constraint in self._strata[self._level]:
+                assignment = violation(constraint, instance)
+                if assignment is not None:
+                    return constraint, assignment
+            if self._verify:
+                for earlier in self._strata[:self._level]:
+                    for constraint in earlier:
+                        if violation(constraint, instance) is not None:
+                            raise AssertionError(
+                                "Theorem 2 violated: earlier stratum "
+                                f"re-violated at level {self._level}")
+            self._level += 1
+        return None
+
+
+StrategyFactory = Callable[[], Strategy]

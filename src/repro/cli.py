@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``analyze FILE``
+    Classify the constraints in FILE against every Figure 1 condition.
+``chase FILE --instance FILE2``
+    Chase an instance, with optional monitor guard and strategy.
+``graph FILE --kind dep|prop|chase|cchase``
+    Emit the corresponding graph as Graphviz DOT.
+``optimize FILE --query 'ans(x) <- ...'``
+    Run the Section 4 SQO pipeline on a query.
+
+Constraint files use the library's text format (see
+:mod:`repro.lang.parser`), e.g.::
+
+    a1: S(x), E(x,y) -> E(y,x)
+    a2: S(x), E(x,y) -> E(y,z), E(z,x)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.chase import chase, ChaseStatus
+from repro.cq import optimize
+from repro.datadep import monitored_chase
+from repro.lang.errors import NonTerminationBudget, ReproError
+from repro.lang.parser import (parse_constraints, parse_instance,
+                               parse_query)
+from repro.termination import analyze
+from repro import viz
+
+
+def _load_constraints(path: str):
+    return parse_constraints(Path(path).read_text())
+
+
+def cmd_analyze(args) -> int:
+    sigma = _load_constraints(args.constraints)
+    report = analyze(sigma, max_k=args.max_k)
+    print(report.render())
+    return 0 if report.guarantees_some_sequence else 1
+
+
+def cmd_chase(args) -> int:
+    sigma = _load_constraints(args.constraints)
+    instance = parse_instance(Path(args.instance).read_text())
+    if args.cycle_limit:
+        result = monitored_chase(instance, sigma, args.cycle_limit,
+                                 max_steps=args.max_steps).result
+    else:
+        result = chase(instance, sigma, max_steps=args.max_steps)
+    print(f"status: {result.status.value} ({len(result.sequence)} steps)")
+    print(result.instance.render())
+    return 0 if result.status is ChaseStatus.TERMINATED else 1
+
+
+def cmd_graph(args) -> int:
+    sigma = _load_constraints(args.constraints)
+    if args.kind == "dep":
+        from repro.termination.dependency_graph import dependency_graph
+        print(viz.position_graph_to_dot(dependency_graph(sigma), "dep"))
+    elif args.kind == "prop":
+        from repro.termination.safety import propagation_graph
+        print(viz.position_graph_to_dot(propagation_graph(sigma), "prop"))
+    elif args.kind == "chase":
+        from repro.termination.chase_graph import chase_graph
+        print(viz.constraint_graph_to_dot(chase_graph(sigma), "chase"))
+    else:
+        from repro.termination.chase_graph import c_chase_graph
+        print(viz.constraint_graph_to_dot(c_chase_graph(sigma), "cchase"))
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    sigma = _load_constraints(args.constraints)
+    query = parse_query(args.query)
+    try:
+        result = optimize(query, sigma, cycle_limit=args.cycle_limit)
+    except NonTerminationBudget as exc:
+        print(f"refused: {exc}", file=sys.stderr)
+        return 1
+    print(f"universal plan: {result.universal_plan}")
+    for rewriting in result.minimal_rewritings():
+        print(f"minimal rewriting: {rewriting}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chase termination analysis "
+                    "(Meier/Schmidt/Lausen, VLDB 2009)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="classify a constraint set")
+    p.add_argument("constraints")
+    p.add_argument("--max-k", type=int, default=3)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("chase", help="chase an instance")
+    p.add_argument("constraints")
+    p.add_argument("--instance", required=True)
+    p.add_argument("--max-steps", type=int, default=10_000)
+    p.add_argument("--cycle-limit", type=int, default=0,
+                   help="arm the Section 4.2 monitor (0 = off)")
+    p.set_defaults(func=cmd_chase)
+
+    p = sub.add_parser("graph", help="emit a graph as DOT")
+    p.add_argument("constraints")
+    p.add_argument("--kind", choices=["dep", "prop", "chase", "cchase"],
+                   default="dep")
+    p.set_defaults(func=cmd_graph)
+
+    p = sub.add_parser("optimize", help="SQO pipeline for a query")
+    p.add_argument("constraints")
+    p.add_argument("--query", required=True)
+    p.add_argument("--cycle-limit", type=int, default=3)
+    p.set_defaults(func=cmd_optimize)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Conjunctive queries and semantic query optimization."""
+
+from repro.cq.containment import contained_in, equivalent
+from repro.cq.optimize import (optimize, OptimizationResult, universal_plan)
+from repro.cq.query import ConjunctiveQuery, unfreeze
+
+__all__ = [
+    "contained_in", "equivalent", "optimize", "OptimizationResult",
+    "universal_plan", "ConjunctiveQuery", "unfreeze",
+]

@@ -1,0 +1,18 @@
+"""Data-dependent chase termination (Section 4)."""
+
+from repro.datadep.irrelevance import (instance_constraint,
+                                       irrelevant_constraints,
+                                       relevant_constraints,
+                                       terminates_statically)
+from repro.datadep.monitor import (Label, MonitorEdge, MonitorGraph,
+                                   MonitorNode)
+from repro.datadep.monitored_chase import (monitored_chase,
+                                           MonitoredChaseResult,
+                                           pay_as_you_go)
+
+__all__ = [
+    "instance_constraint", "irrelevant_constraints", "relevant_constraints",
+    "terminates_statically", "Label", "MonitorEdge", "MonitorGraph",
+    "MonitorNode", "monitored_chase", "MonitoredChaseResult",
+    "pay_as_you_go",
+]

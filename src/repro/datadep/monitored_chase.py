@@ -1,0 +1,88 @@
+"""The monitored chase: run the chase, abort at cycle depth k
+(Section 4.2's dynamic data-dependent approach).
+
+Applications pick the depth limit following a pay-as-you-go principle
+(Proposition 11): every terminating sequence fails to be k-cyclic for
+some k, so a large enough limit lets the chase finish, while a
+divergent run is caught at the first sign of a self-feeding
+null-creation loop instead of after an arbitrary step budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.chase.result import ChaseResult, ChaseStatus
+from repro.chase.runner import AbortChase, chase, DEFAULT_MAX_STEPS
+from repro.chase.step import ChaseStep
+from repro.chase.strategies import Strategy
+from repro.datadep.monitor import MonitorGraph
+from repro.lang.constraints import Constraint
+from repro.lang.instance import Instance
+
+
+@dataclass
+class MonitoredChaseResult:
+    """A chase result together with its monitor graph."""
+
+    result: ChaseResult
+    monitor: MonitorGraph
+    cycle_limit: int
+
+    @property
+    def status(self) -> ChaseStatus:
+        return self.result.status
+
+    @property
+    def aborted(self) -> bool:
+        return self.result.status is ChaseStatus.ABORTED_BY_MONITOR
+
+    @property
+    def instance(self) -> Instance:
+        return self.result.instance
+
+
+def monitored_chase(instance: Instance, sigma: Iterable[Constraint],
+                    cycle_limit: int,
+                    strategy: Optional[Strategy] = None,
+                    max_steps: int = DEFAULT_MAX_STEPS
+                    ) -> MonitoredChaseResult:
+    """Chase ``instance`` with ``sigma``, aborting as soon as the
+    monitor graph becomes ``cycle_limit``-cyclic."""
+    if cycle_limit < 1:
+        raise ValueError("cycle_limit must be at least 1")
+    monitor = MonitorGraph()
+
+    def observer(step: ChaseStep, _working: Instance) -> None:
+        monitor.observe(step)
+        if monitor.is_k_cyclic(cycle_limit):
+            raise AbortChase(
+                f"monitor graph became {cycle_limit}-cyclic at step "
+                f"{step.index}")
+
+    result = chase(instance, sigma, strategy=strategy, max_steps=max_steps,
+                   observers=(observer,))
+    return MonitoredChaseResult(result=result, monitor=monitor,
+                                cycle_limit=cycle_limit)
+
+
+def pay_as_you_go(instance: Instance, sigma: Iterable[Constraint],
+                  max_cycle_limit: int,
+                  strategy_factory=None,
+                  max_steps: int = DEFAULT_MAX_STEPS
+                  ) -> MonitoredChaseResult:
+    """Retry the monitored chase with growing cycle limits
+    ``1, 2, ..., max_cycle_limit`` until one terminates.
+
+    Returns the first non-aborted result, or the last aborted one.
+    """
+    last: Optional[MonitoredChaseResult] = None
+    for limit in range(1, max_cycle_limit + 1):
+        strategy = strategy_factory() if strategy_factory else None
+        last = monitored_chase(instance, sigma, limit, strategy=strategy,
+                               max_steps=max_steps)
+        if not last.aborted:
+            return last
+    assert last is not None
+    return last

@@ -1,0 +1,21 @@
+"""Homomorphism search and constraint-satisfaction checks."""
+
+from repro.homomorphism.engine import (Assignment, apply_assignment,
+                                       find_homomorphism, find_homomorphisms,
+                                       has_homomorphism,
+                                       homomorphism_between,
+                                       instance_maps_into,
+                                       null_renaming_equivalent)
+from repro.homomorphism.extend import (all_satisfied,
+                                       constraint_satisfied_for,
+                                       find_oblivious_trigger, find_trigger,
+                                       head_extends, is_satisfied,
+                                       trigger_key, violation)
+
+__all__ = [
+    "Assignment", "apply_assignment", "find_homomorphism",
+    "find_homomorphisms", "has_homomorphism", "homomorphism_between",
+    "instance_maps_into", "null_renaming_equivalent", "all_satisfied",
+    "constraint_satisfied_for", "find_oblivious_trigger", "find_trigger",
+    "head_extends", "is_satisfied", "trigger_key", "violation",
+]

@@ -1,0 +1,171 @@
+"""Homomorphism search between atom sets and database instances.
+
+A homomorphism (Section 2 of the paper) is a mapping
+``mu : Delta cup V -> Delta cup Delta_null`` such that (i) constants
+map to themselves and (ii) atom images are preserved.  We additionally
+require nulls occurring on the *source* side to map to themselves --
+the source side of every search in this library is either a constraint
+body (variables + constants) or an already-grounded atom set.
+
+The search is a classic most-constrained-first backtracking join that
+exploits the instance's ``(relation, position, term)`` index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+from repro.lang.terms import Constant, GroundTerm, Null, Term, Variable
+
+Assignment = Dict[Variable, GroundTerm]
+
+
+def _resolve(term: Term, binding: Mapping[Variable, GroundTerm]
+             ) -> Optional[GroundTerm]:
+    """The ground value of ``term`` under ``binding`` or None if unbound."""
+    if isinstance(term, Variable):
+        return binding.get(term)
+    # Constants and nulls are rigid on the source side.
+    return term  # type: ignore[return-value]
+
+
+def _bound_count(atom: Atom, binding: Mapping[Variable, GroundTerm]) -> int:
+    return sum(1 for arg in atom.args if _resolve(arg, binding) is not None)
+
+
+def _match_atom(atom: Atom, fact: Atom, binding: Assignment
+                ) -> Optional[Assignment]:
+    """Try to unify ``atom`` with ``fact`` under ``binding``.
+
+    Returns the (possibly extended) binding on success, None otherwise.
+    The returned dict is a fresh copy only when new variables are bound.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    new_entries: list[tuple[Variable, GroundTerm]] = []
+    local: Dict[Variable, GroundTerm] = {}
+    for arg, value in zip(atom.args, fact.args):
+        if isinstance(arg, Variable):
+            bound = binding.get(arg)
+            if bound is None:
+                bound = local.get(arg)
+            if bound is None:
+                local[arg] = value
+                new_entries.append((arg, value))
+            elif bound != value:
+                return None
+        elif arg != value:
+            # Constants and source-side nulls must match exactly.
+            return None
+    if not new_entries:
+        return binding if isinstance(binding, dict) else dict(binding)
+    extended = dict(binding)
+    extended.update(new_entries)
+    return extended
+
+
+def _candidates(instance: Instance, atom: Atom, binding: Assignment
+                ) -> Iterable[Atom]:
+    """Facts of the instance that could match ``atom`` under ``binding``."""
+    bound: Dict[int, GroundTerm] = {}
+    for i, arg in enumerate(atom.args):
+        value = _resolve(arg, binding)
+        if value is not None:
+            bound[i] = value
+    return instance.matching(atom.relation, bound)
+
+
+def find_homomorphisms(atoms: Sequence[Atom], instance: Instance,
+                       partial: Optional[Mapping[Variable, GroundTerm]] = None,
+                       limit: Optional[int] = None) -> Iterator[Assignment]:
+    """Enumerate homomorphisms from ``atoms`` into ``instance``.
+
+    ``partial`` pre-binds some variables (used for head-extension
+    checks, where the universal variables are already fixed).  Yields
+    complete assignments for the variables of ``atoms`` (pre-bound
+    variables are included).  ``limit`` caps the number of results.
+    """
+    binding: Assignment = dict(partial) if partial else {}
+    remaining = list(atoms)
+    produced = 0
+
+    def search(pending: list[Atom], current: Assignment) -> Iterator[Assignment]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if not pending:
+            produced += 1
+            yield dict(current)
+            return
+        # Most-constrained-first: pick the atom with the most bound args.
+        best_index = max(range(len(pending)),
+                         key=lambda i: _bound_count(pending[i], current))
+        atom = pending[best_index]
+        rest = pending[:best_index] + pending[best_index + 1:]
+        for fact in _candidates(instance, atom, current):
+            extended = _match_atom(atom, fact, current)
+            if extended is None:
+                continue
+            yield from search(rest, extended)
+            if limit is not None and produced >= limit:
+                return
+
+    yield from search(remaining, binding)
+
+
+def find_homomorphism(atoms: Sequence[Atom], instance: Instance,
+                      partial: Optional[Mapping[Variable, GroundTerm]] = None
+                      ) -> Optional[Assignment]:
+    """The first homomorphism, or None."""
+    for assignment in find_homomorphisms(atoms, instance, partial, limit=1):
+        return assignment
+    return None
+
+
+def has_homomorphism(atoms: Sequence[Atom], instance: Instance,
+                     partial: Optional[Mapping[Variable, GroundTerm]] = None
+                     ) -> bool:
+    """Existence check."""
+    return find_homomorphism(atoms, instance, partial) is not None
+
+
+def homomorphism_between(source: Iterable[Atom], target: Iterable[Atom],
+                         partial: Optional[Mapping[Variable, GroundTerm]] = None
+                         ) -> Optional[Assignment]:
+    """A homomorphism between two plain atom sets (wraps the target)."""
+    return find_homomorphism(list(source), Instance(target), partial)
+
+
+def apply_assignment(atoms: Iterable[Atom],
+                     assignment: Mapping[Variable, GroundTerm]
+                     ) -> list[Atom]:
+    """Ground ``atoms`` under ``assignment`` (identity elsewhere)."""
+    return [atom.substitute(dict(assignment)) for atom in atoms]
+
+
+def is_endomorphism_proper(instance: Instance, assignment: Mapping) -> bool:
+    """True when ``assignment`` (on nulls) is non-injective or drops a
+    null -- used by the core computation."""
+    values = set(assignment.values())
+    return len(values) < len(assignment)
+
+
+def null_renaming_equivalent(left: Instance, right: Instance) -> bool:
+    """Homomorphic equivalence: homomorphisms both ways.
+
+    The paper (after [21]) uses this to compare results of different
+    chase orders.  Nulls on the source side must be treated as
+    *movable*, so we first rename each side's nulls to fresh variables.
+    """
+    return (instance_maps_into(left, right)
+            and instance_maps_into(right, left))
+
+
+def instance_maps_into(source: Instance, target: Instance) -> bool:
+    """Is there a homomorphism ``source -> target`` (nulls movable)?"""
+    renaming: Dict[Null, Variable] = {
+        null: Variable(f"__h{null.label}") for null in source.nulls()}
+    atoms = [atom.substitute(dict(renaming)) for atom in source]
+    return has_homomorphism(atoms, target)

@@ -1,0 +1,53 @@
+"""The guarded null property of chase sequences (Definition 21).
+
+A sequence has the property when every step's grounded body contains
+an atom covering all labeled nulls (outside the original instance's
+domain) that the step's grounded head consumes.  It is the crucial
+structural invariant behind decidable query answering on possibly
+infinite chase results (Lemma 6, Theorem 9): it bounds the treewidth
+of ``I^Sigma``.  Lemma 7 (third bullet): restricted guardedness forces
+it for every sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.chase.step import ChaseStep
+from repro.lang.constraints import TGD
+from repro.lang.instance import Instance
+from repro.lang.terms import GroundTerm, Null
+
+
+def step_has_guarded_nulls(step: ChaseStep,
+                           base_domain: Set[GroundTerm]) -> bool:
+    """Does one step satisfy Definition 21's condition?
+
+    The nulls to cover are those parameters that (a) are labeled
+    nulls, (b) lie outside ``dom(I)`` (the *original* instance) and
+    (c) occur in the grounded head.
+    """
+    constraint = step.constraint
+    if not isinstance(constraint, TGD):
+        return True  # EGD heads contain no atoms
+    assignment = step.assignment_dict()
+    head_params: Set[Null] = set()
+    for var in constraint.frontier_variables():
+        value = assignment.get(var)
+        if isinstance(value, Null) and value not in base_domain:
+            head_params.add(value)
+    if not head_params:
+        return True
+    for atom in constraint.body:
+        grounded = atom.substitute(assignment)
+        if head_params <= set(grounded.args):
+            return True
+    return False
+
+
+def sequence_has_guarded_nulls(sequence: Iterable[ChaseStep],
+                               initial_instance: Instance) -> bool:
+    """Definition 21 for a full recorded sequence."""
+    base_domain = set(initial_instance.domain())
+    return all(step_has_guarded_nulls(step, base_domain)
+               for step in sequence)

@@ -1,0 +1,43 @@
+"""Gaifman graphs and treewidth estimation (Section 5, Lemma 6).
+
+The Gaifman graph of an instance connects two domain elements whenever
+they co-occur in a fact.  Lemma 6 bounds the treewidth of ``I^Sigma``
+by ``|dom(I)| + max arity`` whenever all chase sequences have the
+guarded null property; the benchmark harness checks this bound
+empirically using networkx's approximation heuristics (exact treewidth
+is NP-hard -- an upper bound is all the lemma needs).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from networkx.algorithms.approximation import treewidth_min_degree
+
+from repro.lang.instance import Instance
+
+
+def gaifman_graph(instance: Instance) -> nx.Graph:
+    """Nodes are domain elements; edges join co-occurring elements."""
+    graph = nx.Graph()
+    graph.add_nodes_from(instance.domain())
+    for fact in instance:
+        args = list(dict.fromkeys(fact.args))
+        for i, left in enumerate(args):
+            for right in args[i + 1:]:
+                graph.add_edge(left, right)
+    return graph
+
+
+def treewidth_upper_bound(instance: Instance) -> int:
+    """An upper bound on the treewidth of the instance's Gaifman graph
+    (min-degree heuristic; 0 for empty/edgeless instances)."""
+    graph = gaifman_graph(instance)
+    if graph.number_of_edges() == 0:
+        return 0
+    width, _decomposition = treewidth_min_degree(graph)
+    return width
+
+
+def lemma6_bound(initial_instance: Instance, max_arity: int) -> int:
+    """Lemma 6's bound: ``|dom(I)| + max{ar(R)}``."""
+    return len(initial_instance.domain()) + max_arity

@@ -1,0 +1,24 @@
+"""Relational/logic substrate: terms, atoms, constraints, instances."""
+
+from repro.lang.atoms import Atom, Position
+from repro.lang.constraints import (Constraint, EGD, TGD,
+                                    constraint_set_positions)
+from repro.lang.errors import (ChaseFailure, NonTerminationBudget, ParseError,
+                               ReproError, SchemaError)
+from repro.lang.instance import Instance
+from repro.lang.parser import (parse_atoms, parse_constraint,
+                               parse_constraints, parse_instance, parse_query,
+                               render_constraints)
+from repro.lang.schema import Schema
+from repro.lang.terms import (Constant, Null, NullFactory, NULLS, Term,
+                              Variable, fresh_null)
+
+__all__ = [
+    "Atom", "Position", "Constraint", "EGD", "TGD",
+    "constraint_set_positions", "ChaseFailure", "NonTerminationBudget",
+    "ParseError", "ReproError", "SchemaError", "Instance",
+    "parse_atoms", "parse_constraint", "parse_constraints",
+    "parse_instance", "parse_query", "render_constraints", "Schema",
+    "Constant", "Null", "NullFactory", "NULLS", "Term", "Variable",
+    "fresh_null",
+]

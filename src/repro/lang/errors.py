@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ParseError(ReproError):
+    """Raised when constraint / instance / query text cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 text: str | None = None) -> None:
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            context = text[max(0, position - 20):position + 20]
+            message = f"{message} (at offset {position}: ...{context!r}...)"
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """Raised on arity mismatches or malformed atoms/constraints."""
+
+
+class ChaseFailure(ReproError):
+    """Raised when an EGD chase step would equate two distinct constants.
+
+    The paper calls the chase result *undefined* in this case; callers
+    that prefer a status object should use the runner API, which
+    converts this exception into ``ChaseStatus.FAILED``.
+    """
+
+
+class NonTerminationBudget(ReproError):
+    """Raised when a chase run exceeds its step budget."""

@@ -1,0 +1,178 @@
+"""Database instances: finite sets of facts with lookup indexes.
+
+An instance is a finite set of atoms over constants and labeled nulls
+(Section 2).  The implementation keeps two indexes tuned for the
+homomorphism engine that powers the chase:
+
+* relation name -> set of facts,
+* ``(relation, position-index, term)`` -> set of facts,
+
+so that candidate facts for a partially-bound body atom can be found
+by intersecting small sets instead of scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Set
+
+from repro.lang.atoms import Atom, Position
+from repro.lang.errors import SchemaError
+from repro.lang.schema import Schema
+from repro.lang.terms import Constant, GroundTerm, Null, Term
+
+
+class Instance:
+    """A mutable set of ground atoms (facts) with indexes."""
+
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
+        self._facts: Set[Atom] = set()
+        self._by_relation: Dict[str, Set[Atom]] = {}
+        self._by_term: Dict[tuple[str, int, GroundTerm], Set[Atom]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, fact: Atom) -> bool:
+        """Insert a fact.  Returns True if it was new."""
+        if not fact.is_ground:
+            raise SchemaError(f"cannot store non-ground atom {fact}")
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._by_relation.setdefault(fact.relation, set()).add(fact)
+        for i, term in enumerate(fact.args):
+            self._by_term.setdefault((fact.relation, i, term), set()).add(fact)
+        return True
+
+    def add_all(self, facts: Iterable[Atom]) -> list[Atom]:
+        """Insert many facts; return the ones that were actually new."""
+        return [fact for fact in facts if self.add(fact)]
+
+    def discard(self, fact: Atom) -> bool:
+        """Remove a fact if present.  Returns True if it was removed."""
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        self._by_relation[fact.relation].discard(fact)
+        for i, term in enumerate(fact.args):
+            self._by_term[(fact.relation, i, term)].discard(fact)
+        return True
+
+    def substitute_term(self, old: GroundTerm, new: GroundTerm) -> list[Atom]:
+        """Replace every occurrence of ``old`` by ``new`` (EGD steps).
+
+        Returns the list of facts that changed (their new versions).
+        """
+        if old == new:
+            return []
+        # Collect all facts containing ``old`` via the term index.
+        affected = [fact for key, facts in list(self._by_term.items())
+                    if key[2] == old for fact in facts]
+        changed: list[Atom] = []
+        seen: set[Atom] = set()
+        for fact in affected:
+            if fact in seen:
+                continue
+            seen.add(fact)
+            self.discard(fact)
+            new_fact = fact.substitute({old: new})
+            if self.add(new_fact):
+                changed.append(new_fact)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Instance) and self._facts == other._facts
+
+    def facts(self, relation: str | None = None) -> Set[Atom]:
+        """All facts, or the facts of one relation (a fresh set)."""
+        if relation is None:
+            return set(self._facts)
+        return set(self._by_relation.get(relation, ()))
+
+    def matching(self, relation: str, bindings: Mapping[int, GroundTerm]
+                 ) -> Set[Atom]:
+        """Facts of ``relation`` agreeing with ``bindings``
+        (0-based position index -> required term).  Uses the indexes.
+        """
+        base = self._by_relation.get(relation)
+        if not base:
+            return set()
+        if not bindings:
+            return set(base)
+        candidate_sets = []
+        for i, term in bindings.items():
+            facts = self._by_term.get((relation, i, term))
+            if not facts:
+                return set()
+            candidate_sets.append(facts)
+        candidate_sets.sort(key=len)
+        result = set(candidate_sets[0])
+        for facts in candidate_sets[1:]:
+            result &= facts
+            if not result:
+                break
+        return result
+
+    def domain(self) -> set[GroundTerm]:
+        """``dom(I)``: all constants and nulls appearing in the instance."""
+        out: set[GroundTerm] = set()
+        for fact in self._facts:
+            out.update(fact.args)  # type: ignore[arg-type]
+        return out
+
+    def constants(self) -> set[Constant]:
+        return {t for t in self.domain() if isinstance(t, Constant)}
+
+    def nulls(self) -> set[Null]:
+        return {t for t in self.domain() if isinstance(t, Null)}
+
+    def positions_of(self, term: Term) -> set[Position]:
+        """``null-pos({term}, I)``: positions at which ``term`` occurs."""
+        out: set[Position] = set()
+        for (relation, index, indexed_term), facts in self._by_term.items():
+            if indexed_term == term and facts:
+                out.add(Position(relation, index + 1))
+        return out
+
+    def relations(self) -> set[str]:
+        return {name for name, facts in self._by_relation.items() if facts}
+
+    def schema(self) -> Schema:
+        return Schema.infer(self._facts)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "Instance":
+        return Instance(self._facts)
+
+    def union(self, other: "Instance") -> "Instance":
+        out = self.copy()
+        out.add_all(other.facts())
+        return out
+
+    def __or__(self, other: "Instance") -> "Instance":
+        return self.union(other)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(sorted(str(f) for f in self._facts)[:8])
+        more = "" if len(self._facts) <= 8 else f", ... ({len(self._facts)} facts)"
+        return f"Instance({{{preview}{more}}})"
+
+    def render(self) -> str:
+        """A deterministic multi-line rendering (sorted facts)."""
+        return "\n".join(sorted(str(f) for f in self._facts))

@@ -1,0 +1,274 @@
+"""A small text format for constraints, instances and queries.
+
+Grammar (informal)::
+
+    program     := statement (";" | newline)* ...
+    constraint  := [label ":"] body? "->" (atoms | equality)
+    body        := atoms | "true"
+    atoms       := atom ("," atom)*
+    atom        := IDENT "(" term ("," term)* ")"
+    equality    := IDENT "=" IDENT
+    query       := atom "<-" atoms
+
+Term conventions:
+
+* in **constraints and queries**, a bare identifier is a *variable*;
+  quoted strings (``'paris'``) and numbers are *constants*;
+* in **instances**, a bare identifier is a *constant* and ``?n7`` is
+  the labeled null with label 7 (quoted strings/numbers also parse as
+  constants).
+
+Examples::
+
+    parse_constraint("S(x), E(x,y) -> E(y,x)")
+    parse_constraint("a2: S(x), E(x,y) -> E(y,z), E(z,x)")   # z existential
+    parse_constraint("E(x,y), E(x,z) -> y = z")              # EGD
+    parse_constraint("-> S(x), E(x,y)")                      # empty body
+    parse_instance("S(a). S(b). E(a,b)")
+    parse_query("rf(x2) <- rail('c1', x1, y1), fly(x1, x2, y2)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.lang.atoms import Atom
+from repro.lang.constraints import Constraint, EGD, TGD
+from repro.lang.errors import ParseError
+from repro.lang.instance import Instance
+from repro.lang.terms import Constant, Null, Term, Variable
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<arrow>->)
+  | (?P<larrow><-)
+  | (?P<null>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>'([^'\\]|\\.)*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[(),;:=.])
+""", re.VERBOSE)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError("unexpected character", pos, text)
+        kind = match.lastgroup or ""
+        if kind == "string":
+            kind = "string"
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the shared token stream."""
+
+    def __init__(self, text: str, instance_mode: bool = False) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.instance_mode = instance_mode
+        self._null_cache: dict[str, Null] = {}
+        self._null_counter = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {token.text!r}",
+                             token.pos, self.text)
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def skip_separators(self) -> None:
+        while self.at("punct", ";") or self.at("punct", "."):
+            self.next()
+
+    # -- grammar --------------------------------------------------------
+    def term(self) -> Term:
+        token = self.next()
+        if token.kind == "ident":
+            if self.instance_mode:
+                return Constant(token.text)
+            return Variable(token.text)
+        if token.kind == "number":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == "string":
+            return Constant(token.text[1:-1].replace("\\'", "'"))
+        if token.kind == "null":
+            name = token.text[1:]
+            if name not in self._null_cache:
+                match = re.fullmatch(r"n(\d+)", name)
+                if match:
+                    self._null_cache[name] = Null(int(match.group(1)))
+                else:
+                    # Named nulls get negative labels local to this parse.
+                    self._null_counter -= 1
+                    self._null_cache[name] = Null(self._null_counter)
+            return self._null_cache[name]
+        raise ParseError(f"expected a term, found {token.text!r}",
+                         token.pos, self.text)
+
+    def atom(self) -> Atom:
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        args = [self.term()]
+        while self.at("punct", ","):
+            self.next()
+            args.append(self.term())
+        self.expect("punct", ")")
+        return Atom(name, args)
+
+    def atom_list(self) -> list[Atom]:
+        atoms = [self.atom()]
+        while self.at("punct", ","):
+            self.next()
+            atoms.append(self.atom())
+        return atoms
+
+    def constraint(self) -> Constraint:
+        label: str | None = None
+        # Optional "label :" prefix (label must not be followed by "(").
+        if (self.at("ident")
+                and self.tokens[self.index + 1].kind == "punct"
+                and self.tokens[self.index + 1].text == ":"):
+            label = self.next().text
+            self.next()
+        body: list[Atom] = []
+        if self.at("ident", "true") and self.tokens[self.index + 1].kind == "arrow":
+            self.next()
+        elif not self.at("arrow"):
+            body = self.atom_list()
+        self.expect("arrow")
+        # EGD: "x = y"; TGD otherwise.
+        if (self.at("ident")
+                and self.tokens[self.index + 1].kind == "punct"
+                and self.tokens[self.index + 1].text == "="):
+            lhs_token = self.next()
+            self.next()
+            rhs_token = self.expect("ident")
+            return EGD(body, Variable(lhs_token.text), Variable(rhs_token.text),
+                       label=label)
+        head = self.atom_list()
+        return TGD(body, head, label=label)
+
+    def query(self):
+        from repro.cq.query import ConjunctiveQuery
+        head = self.atom()
+        self.expect("larrow")
+        body = self.atom_list()
+        head_terms = []
+        for arg in head.args:
+            head_terms.append(arg)
+        return ConjunctiveQuery(name=head.relation, head=tuple(head_terms),
+                                body=tuple(body))
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse a single TGD or EGD."""
+    parser = _Parser(text)
+    constraint = parser.constraint()
+    parser.skip_separators()
+    parser.expect("eof")
+    return constraint
+
+
+def parse_constraints(text: str) -> list[Constraint]:
+    """Parse a ``;``- or newline-separated list of constraints."""
+    parser = _Parser(text)
+    out: list[Constraint] = []
+    parser.skip_separators()
+    while not parser.at("eof"):
+        out.append(parser.constraint())
+        parser.skip_separators()
+    return out
+
+
+def parse_atoms(text: str, instance_mode: bool = False) -> list[Atom]:
+    """Parse a list of atoms (separators: ``,``, ``;`` or ``.``)."""
+    parser = _Parser(text, instance_mode=instance_mode)
+    out: list[Atom] = []
+    parser.skip_separators()
+    while not parser.at("eof"):
+        out.append(parser.atom())
+        if parser.at("punct", ","):
+            parser.next()
+        parser.skip_separators()
+    return out
+
+
+def parse_instance(text: str) -> Instance:
+    """Parse a database instance; bare identifiers become constants."""
+    return Instance(parse_atoms(text, instance_mode=True))
+
+
+def parse_query(text: str):
+    """Parse a conjunctive query ``ans(x) <- body``."""
+    parser = _Parser(text)
+    query = parser.query()
+    parser.skip_separators()
+    parser.expect("eof")
+    return query
+
+
+def render_constraints(sigma: Iterable[Constraint]) -> str:
+    """Render constraints in re-parseable form, one per line."""
+    lines = []
+    for constraint in sigma:
+        prefix = f"{constraint.label}: " if constraint.label else ""
+        lines.append(prefix + _render_constraint_body(constraint))
+    return "\n".join(lines)
+
+
+def _render_constraint_body(constraint: Constraint) -> str:
+    def render_term(term: Term) -> str:
+        if isinstance(term, Variable):
+            return term.name
+        if isinstance(term, Constant):
+            if isinstance(term.value, (int, float)):
+                return str(term.value)
+            return "'" + str(term.value).replace("'", "\\'") + "'"
+        raise ParseError(f"cannot render term {term!r} inside a constraint")
+
+    def render_atom(atom: Atom) -> str:
+        return f"{atom.relation}({', '.join(render_term(t) for t in atom.args)})"
+
+    body = ", ".join(render_atom(a) for a in constraint.body)
+    if isinstance(constraint, TGD):
+        head = ", ".join(render_atom(a) for a in constraint.head)
+        return f"{body} -> {head}" if body else f"-> {head}"
+    assert isinstance(constraint, EGD)
+    return f"{body} -> {constraint.lhs.name} = {constraint.rhs.name}"

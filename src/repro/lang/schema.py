@@ -1,0 +1,93 @@
+"""Database schemas: relation symbols with fixed arities.
+
+Schemas are optional throughout the library -- constraints and
+instances carry enough information to infer one -- but they provide
+arity checking and a stable universe of positions for the graph-based
+termination conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.lang.atoms import Atom, Position
+from repro.lang.errors import SchemaError
+
+
+class Schema:
+    """A finite set of relation symbols with arities."""
+
+    def __init__(self, relations: Mapping[str, int] | None = None) -> None:
+        self._relations: dict[str, int] = {}
+        if relations:
+            for name, arity in relations.items():
+                self.add_relation(name, arity)
+
+    def add_relation(self, name: str, arity: int) -> None:
+        if arity < 1:
+            raise SchemaError(f"relation {name} must have arity >= 1")
+        existing = self._relations.get(name)
+        if existing is not None and existing != arity:
+            raise SchemaError(
+                f"relation {name} redeclared with arity {arity} "
+                f"(was {existing})")
+        self._relations[name] = arity
+
+    def arity(self, name: str) -> int:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._relations == other._relations
+
+    def relations(self) -> dict[str, int]:
+        """A copy of the relation-to-arity mapping."""
+        return dict(self._relations)
+
+    def positions(self) -> list[Position]:
+        """Every position of the schema, sorted."""
+        return sorted(Position(name, i + 1)
+                      for name, arity in self._relations.items()
+                      for i in range(arity))
+
+    def max_arity(self) -> int:
+        return max(self._relations.values(), default=0)
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Raise :class:`SchemaError` unless ``atom`` fits the schema."""
+        if atom.relation not in self._relations:
+            raise SchemaError(f"unknown relation {atom.relation}")
+        expected = self._relations[atom.relation]
+        if atom.arity != expected:
+            raise SchemaError(
+                f"atom {atom} has arity {atom.arity}, schema says {expected}")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}/{a}" for n, a in sorted(self._relations.items()))
+        return f"Schema({inner})"
+
+    @classmethod
+    def infer(cls, atoms: Iterable[Atom]) -> "Schema":
+        """Infer a schema from any collection of atoms."""
+        schema = cls()
+        for atom in atoms:
+            schema.add_relation(atom.relation, atom.arity)
+        return schema
+
+    def merged(self, other: "Schema") -> "Schema":
+        """The union of two schemas (raises on arity conflicts)."""
+        out = Schema(self._relations)
+        for name, arity in other._relations.items():
+            out.add_relation(name, arity)
+        return out

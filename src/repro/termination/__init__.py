@@ -1,0 +1,38 @@
+"""Data-independent chase-termination conditions (Section 3)."""
+
+from repro.termination.affected import affected_positions
+from repro.termination.chase_graph import (c_chase_graph, chase_graph,
+                                           nontrivial_sccs,
+                                           topological_strata)
+from repro.termination.cstratification import (is_c_stratified,
+                                               non_weakly_acyclic_c_cycle)
+from repro.termination.dependency_graph import (dependency_graph,
+                                                has_special_cycle,
+                                                position_ranks)
+from repro.termination.hierarchy import check, in_t_level, sub, t_level
+from repro.termination.precedence import (ORACLE, PrecedenceOracle, precedes,
+                                          precedes_c, precedes_k, precedes_p)
+from repro.termination.report import analyze, CONDITIONS, TerminationReport
+from repro.termination.restriction import (aff_cl, is_inductively_restricted,
+                                           is_safely_restricted,
+                                           minimal_restriction_system, part,
+                                           RestrictionSystem)
+from repro.termination.safety import is_safe, propagation_graph, safety_witness
+from repro.termination.stratification import (chase_strata, is_stratified,
+                                              non_weakly_acyclic_cycle,
+                                              stratified_strategy)
+from repro.termination.weak_acyclicity import (is_weakly_acyclic,
+                                               weak_acyclicity_witness)
+
+__all__ = [
+    "affected_positions", "c_chase_graph", "chase_graph", "nontrivial_sccs",
+    "topological_strata", "is_c_stratified", "non_weakly_acyclic_c_cycle",
+    "dependency_graph", "has_special_cycle", "position_ranks", "check",
+    "in_t_level", "sub", "t_level", "ORACLE", "PrecedenceOracle", "precedes",
+    "precedes_c", "precedes_k", "precedes_p", "analyze", "CONDITIONS",
+    "TerminationReport", "aff_cl", "is_inductively_restricted",
+    "is_safely_restricted", "minimal_restriction_system", "part",
+    "RestrictionSystem", "is_safe", "propagation_graph", "safety_witness",
+    "is_stratified", "chase_strata", "non_weakly_acyclic_cycle",
+    "stratified_strategy", "is_weakly_acyclic", "weak_acyclicity_witness",
+]

@@ -1,0 +1,85 @@
+"""The T-hierarchy (Section 3.6, Definition 16) and the membership
+algorithm ``check``/``sub`` of Figure 8 (Section 3.7).
+
+``Sigma in T[k]`` iff for some ``k' in {2..k}`` every subset produced
+by ``part(Sigma, k')`` is safe.  T[2] equals inductive restriction;
+every level is contained in the next, the inclusions are strict
+(Example 15's family ``Sigma_m in T[m+1] \\ T[m]``), and each level
+guarantees polynomial-time chase termination (Theorem 7).
+
+``check`` (Figure 8) decides the same membership while dodging
+expensive k-restriction-system computations wherever the polynomial
+safety test already certifies a subset -- the paper's answer to the
+coNP recognition cost (Section 3.7).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from repro.lang.constraints import Constraint
+from repro.termination.precedence import ORACLE, PrecedenceOracle
+from repro.termination.restriction import (minimal_restriction_system, part)
+from repro.termination.safety import is_safe
+
+
+def in_t_level(sigma: Iterable[Constraint], k: int,
+               oracle: PrecedenceOracle = ORACLE) -> bool:
+    """Literal Definition 16: ``Sigma in T[k]``?"""
+    if k < 2:
+        raise ValueError("the T-hierarchy starts at level 2")
+    sigma_set = frozenset(sigma)
+    for k_prime in range(2, k + 1):
+        subsets = part(sigma_set, k_prime, oracle)
+        if all(is_safe(subset) for subset in subsets):
+            return True
+    return False
+
+
+def t_level(sigma: Iterable[Constraint], max_k: int = 4,
+            oracle: PrecedenceOracle = ORACLE) -> int | None:
+    """The least level ``k <= max_k`` with ``Sigma in T[k]``, or None.
+
+    Since ``T[k] subseteq T[k+1]`` the search stops at the first hit.
+    """
+    sigma_set = frozenset(sigma)
+    for k in range(2, max_k + 1):
+        if all(is_safe(subset) for subset in part(sigma_set, k, oracle)):
+            return k
+    return None
+
+
+def sub(sigma: FrozenSet[Constraint], k: int,
+        oracle: PrecedenceOracle = ORACLE) -> bool:
+    """Figure 8's ``sub(Sigma, k)``.
+
+    Safety is checked first (polynomial); only if it fails is the
+    minimal k-restriction system computed and the cyclic components
+    recursed into via ``check``.
+    """
+    if is_safe(sigma):
+        return True
+    system = minimal_restriction_system(sigma, k, oracle)
+    components: List[FrozenSet[Constraint]] = [
+        frozenset(c) for c in system.cyclic_components()]
+    if len(components) == 0:
+        return True
+    if len(components) == 1:
+        (component,) = components
+        if component != sigma:
+            return check(component, k, oracle)
+        return False
+    return all(check(component, k, oracle) for component in components)
+
+
+def check(sigma: Iterable[Constraint], k: int,
+          oracle: PrecedenceOracle = ORACLE) -> bool:
+    """Figure 8's ``check(Sigma, k)``: decides ``Sigma in T[k]``
+    (Proposition 6) using the safety fast-path of ``sub``."""
+    if k < 2:
+        raise ValueError("the T-hierarchy starts at level 2")
+    sigma_set = frozenset(sigma)
+    for i in range(k, 1, -1):
+        if sub(sigma_set, i, oracle):
+            return True
+    return False

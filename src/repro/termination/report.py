@@ -1,0 +1,109 @@
+"""One-stop classification of a constraint set across every
+termination condition of Figure 1, plus a recommended chase policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lang.constraints import Constraint
+from repro.termination.cstratification import is_c_stratified
+from repro.termination.hierarchy import t_level
+from repro.termination.precedence import ORACLE, PrecedenceOracle
+from repro.termination.restriction import (is_inductively_restricted,
+                                           is_safely_restricted)
+from repro.termination.safety import is_safe
+from repro.termination.stratification import (chase_strata, is_stratified)
+from repro.termination.weak_acyclicity import is_weakly_acyclic
+
+#: column order used by renderers and the Figure 1 benchmark
+CONDITIONS = ("weakly_acyclic", "safe", "c_stratified", "stratified",
+              "safely_restricted", "inductively_restricted")
+
+
+@dataclass
+class TerminationReport:
+    """Membership of one constraint set in each Figure 1 class."""
+
+    sigma: Sequence[Constraint]
+    weakly_acyclic: bool
+    safe: bool
+    stratified: bool
+    c_stratified: bool
+    safely_restricted: bool
+    inductively_restricted: bool
+    t_hierarchy_level: Optional[int]
+    max_k_probed: int
+
+    @property
+    def guarantees_all_sequences(self) -> bool:
+        """Does some checked condition bound *every* chase sequence?
+
+        Stratification alone does not (Example 4); every other class in
+        Figure 1 does (Theorems 3, 5, 6, 7).
+        """
+        return (self.weakly_acyclic or self.safe or self.c_stratified
+                or self.inductively_restricted
+                or self.t_hierarchy_level is not None)
+
+    @property
+    def guarantees_some_sequence(self) -> bool:
+        """Does some condition guarantee at least one terminating
+        sequence (Theorem 1)?"""
+        return self.guarantees_all_sequences or self.stratified
+
+    def recommended_strategy(self):
+        """A chase strategy that is guaranteed to terminate, if any.
+
+        For sets that are only stratified, Theorem 2's stratum order is
+        required; for the stronger classes any order works and we
+        return None (use the default round-robin).
+        """
+        if self.guarantees_all_sequences:
+            return None
+        if self.stratified:
+            from repro.termination.stratification import stratified_strategy
+            return stratified_strategy(self.sigma)
+        return None
+
+    def as_row(self) -> dict:
+        row = {name: getattr(self, name) for name in CONDITIONS}
+        row["t_level"] = self.t_hierarchy_level
+        return row
+
+    def render(self) -> str:
+        lines = ["termination analysis "
+                 f"({len(list(self.sigma))} constraints):"]
+        for name in CONDITIONS:
+            lines.append(f"  {name:<24}: {getattr(self, name)}")
+        level = (f"T[{self.t_hierarchy_level}]"
+                 if self.t_hierarchy_level is not None
+                 else f"not in T[2..{self.max_k_probed}]")
+        lines.append(f"  {'t_hierarchy':<24}: {level}")
+        lines.append(f"  every sequence bounded   : "
+                     f"{self.guarantees_all_sequences}")
+        lines.append(f"  some sequence terminates : "
+                     f"{self.guarantees_some_sequence}")
+        return "\n".join(lines)
+
+
+def analyze(sigma: Iterable[Constraint], max_k: int = 3,
+            oracle: PrecedenceOracle = ORACLE) -> TerminationReport:
+    """Classify ``sigma`` against every condition of Figure 1.
+
+    ``max_k`` bounds the T-hierarchy probe (each level costs an
+    |Sigma|^k sweep of chain queries).
+    """
+    sigma = list(sigma)
+    return TerminationReport(
+        sigma=sigma,
+        weakly_acyclic=is_weakly_acyclic(sigma),
+        safe=is_safe(sigma),
+        stratified=is_stratified(sigma, oracle),
+        c_stratified=is_c_stratified(sigma, oracle),
+        safely_restricted=is_safely_restricted(sigma, oracle),
+        inductively_restricted=is_inductively_restricted(sigma, oracle),
+        t_hierarchy_level=t_level(sigma, max_k, oracle),
+        max_k_probed=max_k,
+    )

@@ -1,0 +1,105 @@
+"""Rendering of the paper's graph artifacts: dependency graphs
+(Figures 3, 6-left), propagation graphs (Figure 6-right), chase graphs
+(Figures 4, 5) and monitor graphs.
+
+Two output formats: Graphviz DOT text (for external tooling) and a
+plain-ASCII adjacency listing (for terminals and test fixtures).  No
+graphviz binary is required -- DOT is emitted as text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.datadep.monitor import MonitorGraph
+from repro.lang.constraints import Constraint
+from repro.termination.dependency_graph import dependency_graph, SPECIAL
+from repro.termination.chase_graph import c_chase_graph, chase_graph
+from repro.termination.safety import propagation_graph
+
+
+def _quote(value: str) -> str:
+    return '"' + value.replace('"', r'\"') + '"'
+
+
+def position_graph_to_dot(graph: nx.DiGraph, title: str = "dep") -> str:
+    """DOT for a dependency/propagation graph.  Special edges are
+    starred and dashed, matching the paper's ``->*`` notation."""
+    lines = [f"digraph {title} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes, key=str):
+        lines.append(f"  {_quote(str(node))};")
+    for source, target, data in sorted(graph.edges(data=True),
+                                       key=lambda e: (str(e[0]), str(e[1]))):
+        if data.get(SPECIAL):
+            lines.append(f"  {_quote(str(source))} -> {_quote(str(target))}"
+                         ' [style=dashed, label="*"];')
+        else:
+            lines.append(f"  {_quote(str(source))} -> {_quote(str(target))};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def constraint_graph_to_dot(graph: nx.DiGraph, title: str = "chase") -> str:
+    """DOT for a (c-)chase graph or restriction-system graph."""
+    lines = [f"digraph {title} {{"]
+    for node in sorted(graph.nodes, key=lambda c: c.display_name()):
+        lines.append(f"  {_quote(node.display_name())};")
+    for source, target in sorted(graph.edges(),
+                                 key=lambda e: (e[0].display_name(),
+                                                e[1].display_name())):
+        lines.append(f"  {_quote(source.display_name())} -> "
+                     f"{_quote(target.display_name())};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def monitor_graph_to_dot(graph: MonitorGraph, title: str = "monitor") -> str:
+    """DOT for a monitor graph; edge labels carry (constraint, Pi)."""
+    lines = [f"digraph {title} {{"]
+    for node in graph.nodes.values():
+        positions = ",".join(sorted(map(str, node.positions)))
+        lines.append(f"  {_quote(str(node.null))} "
+                     f'[label="{node.null}\\n{{{positions}}}"];')
+    for edge in graph.edges:
+        body = ",".join(sorted(map(str, edge.body_positions)))
+        lines.append(
+            f"  {_quote(str(edge.source.null))} -> "
+            f"{_quote(str(edge.target.null))} "
+            f'[label="{edge.constraint.display_name()}, {{{body}}}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_adjacency(graph: nx.DiGraph, render_node=str) -> str:
+    """A deterministic, diffable adjacency listing."""
+    lines = []
+    for node in sorted(graph.nodes, key=render_node):
+        successors = sorted((render_node(s) for s in graph.successors(node)))
+        marker = ""
+        data = graph.get_edge_data(node, node)
+        arrow = ", ".join(successors) if successors else "(none)"
+        lines.append(f"{render_node(node)} -> {arrow}{marker}")
+    return "\n".join(lines)
+
+
+def render_figure3(sigma: Iterable[Constraint]) -> str:
+    """The dependency graph of Figure 9's constraints (Figure 3)."""
+    return position_graph_to_dot(dependency_graph(sigma), title="figure3")
+
+
+def render_figure4(sigma: Iterable[Constraint]) -> str:
+    """The chase graph of Example 4 (Figure 4)."""
+    return constraint_graph_to_dot(chase_graph(sigma), title="figure4")
+
+
+def render_figure5(sigma: Iterable[Constraint]) -> str:
+    """The c-chase graph of Example 4 (Figure 5)."""
+    return constraint_graph_to_dot(c_chase_graph(sigma), title="figure5")
+
+
+def render_figure6(sigma: Iterable[Constraint]) -> tuple[str, str]:
+    """Dependency and propagation graphs side by side (Figure 6)."""
+    return (position_graph_to_dot(dependency_graph(sigma), "figure6_dep"),
+            position_graph_to_dot(propagation_graph(sigma), "figure6_prop"))

@@ -1,0 +1,6 @@
+"""Workloads: paper examples, parameterized families, generators."""
+
+from repro.workloads import families, generators, paper, turing
+from repro.workloads.paper import NAMED_SETS
+
+__all__ = ["families", "generators", "paper", "turing", "NAMED_SETS"]

@@ -1,0 +1,114 @@
+"""Parameterized constraint/instance families used by the paper's
+separating examples and by the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.lang.atoms import Atom
+from repro.lang.constraints import Constraint, TGD
+from repro.lang.instance import Instance
+from repro.lang.terms import Constant, Variable
+
+
+def sigma_family(m: int) -> List[Constraint]:
+    """Example 15's ``Sigma_m`` for arity ``m >= 2``:
+
+        ``S(x_m), R_m(x_1..x_m) -> exists y R_m(y, x_1..x_{m-1})``
+
+    Admits ``<_{m,empty}`` chains but no ``<_{m+1,empty}`` ones, hence
+    lies in ``T[m+1] \\ T[m]`` (with Figure 2 = ``Sigma_2 in T[3]``).
+    """
+    if m < 2:
+        raise ValueError("the family starts at arity 2")
+    xs = [Variable(f"x{i}") for i in range(1, m + 1)]
+    y = Variable("y")
+    body = [Atom("S", (xs[-1],)), Atom("R", tuple(xs))]
+    head = [Atom("R", tuple([y] + xs[:-1]))]
+    return [TGD(body, head, label=f"sigma_{m}")]
+
+
+def prop11_family(k: int) -> Tuple[List[Constraint], Instance]:
+    """Proposition 11's pair ``(Sigma_k, I_k)``:
+
+        ``phi: S(x_k), R_k(x_1..x_k) -> exists y R_k(y, x_1..x_{k-1})``
+        ``I_k = {S(c_1), ..., S(c_k), R_k(c_1, ..., c_k)}``
+
+    Not inductively restricted, yet every chase sequence is
+    ``(k-1)``-cyclic but not ``k``-cyclic: the pay-as-you-go witness.
+    """
+    if k < 2:
+        raise ValueError("the family starts at k = 2")
+    xs = [Variable(f"x{i}") for i in range(1, k + 1)]
+    y = Variable("y")
+    phi = TGD([Atom("S", (xs[-1],)), Atom("R", tuple(xs))],
+              [Atom("R", tuple([y] + xs[:-1]))],
+              label=f"phi_{k}")
+    constants = [Constant(f"c{i}") for i in range(1, k + 1)]
+    facts = [Atom("S", (c,)) for c in constants]
+    facts.append(Atom("R", tuple(constants)))
+    return [phi], Instance(facts)
+
+
+def full_tgd_chain(length: int) -> List[Constraint]:
+    """``R_i(x, y) -> R_{i+1}(x, y)`` for ``i < length``: weakly
+    acyclic, chase length linear in ``length * |I|`` -- a scalable
+    workload for the polynomial-complexity benches."""
+    out: List[Constraint] = []
+    x, y = Variable("x"), Variable("y")
+    for i in range(length):
+        out.append(TGD([Atom(f"R{i}", (x, y))],
+                       [Atom(f"R{i + 1}", (x, y))],
+                       label=f"copy_{i}"))
+    return out
+
+
+def bounded_null_cascade(depth: int) -> List[Constraint]:
+    """A safe family creating nulls through ``depth`` distinct levels:
+
+        ``L_i(x) -> exists y L_{i+1}(y)``
+
+    Every position rank is finite; the chase creates exactly one null
+    per level per trigger -- exercising Theorem 5's rank argument.
+    """
+    out: List[Constraint] = []
+    x, y = Variable("x"), Variable("y")
+    for i in range(depth):
+        out.append(TGD([Atom(f"L{i}", (x,))],
+                       [Atom(f"L{i + 1}", (y,))],
+                       label=f"level_{i}"))
+    return out
+
+
+def chain_instance(n: int, relation: str = "E") -> Instance:
+    """A path graph ``E(c_0, c_1), ..., E(c_{n-1}, c_n)``."""
+    facts = [Atom(relation, (Constant(f"c{i}"), Constant(f"c{i + 1}")))
+             for i in range(n)]
+    return Instance(facts)
+
+
+def cycle_instance(n: int, relation: str = "E") -> Instance:
+    """A directed cycle on ``n`` constants."""
+    facts = [Atom(relation, (Constant(f"c{i}"),
+                             Constant(f"c{(i + 1) % n}")))
+             for i in range(n)]
+    return Instance(facts)
+
+
+def special_nodes_instance(n: int, spacing: int = 1) -> Instance:
+    """A path with every ``spacing``-th node marked special (``S``) --
+    the Introduction's graph schema at scale."""
+    facts = [Atom("E", (Constant(f"c{i}"), Constant(f"c{i + 1}")))
+             for i in range(n)]
+    facts += [Atom("S", (Constant(f"c{i}"),))
+              for i in range(0, n + 1, spacing)]
+    return Instance(facts)
+
+
+def star_instance(n: int, relation: str = "E") -> Instance:
+    """A star: edges from a hub to ``n`` leaves."""
+    hub = Constant("hub")
+    facts = [Atom(relation, (hub, Constant(f"leaf{i}")))
+             for i in range(n)]
+    return Instance(facts)

@@ -1,0 +1,122 @@
+"""Seeded random generators: TGD corpora and graph instances.
+
+Used by the recognition-cost benchmarks (how do the Figure 1 checks
+scale with the number of constraints?) and by the property-based test
+suites (chase soundness on random weakly-acyclic/safe sets).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.lang.atoms import Atom
+from repro.lang.constraints import Constraint, EGD, TGD
+from repro.lang.instance import Instance
+from repro.lang.schema import Schema
+from repro.lang.terms import Constant, Variable
+
+
+def random_schema(rng: random.Random, n_relations: int = 4,
+                  max_arity: int = 3) -> Schema:
+    return Schema({f"R{i}": rng.randint(1, max_arity)
+                   for i in range(n_relations)})
+
+
+def random_tgd(rng: random.Random, schema: Schema,
+               max_body_atoms: int = 3, max_head_atoms: int = 2,
+               n_variables: int = 4,
+               existential_probability: float = 0.4,
+               label: Optional[str] = None) -> TGD:
+    """One random TGD; head-only variables become existential."""
+    relations = list(schema)
+    variables = [Variable(f"x{i}") for i in range(n_variables)]
+    evars = [Variable(f"y{i}") for i in range(2)]
+
+    def random_atom(pool: Sequence[Variable]) -> Atom:
+        relation = rng.choice(relations)
+        return Atom(relation, tuple(rng.choice(pool)
+                                    for _ in range(schema.arity(relation))))
+
+    body = [random_atom(variables)
+            for _ in range(rng.randint(1, max_body_atoms))]
+    body_vars = sorted({v for atom in body for v in atom.variables()},
+                       key=lambda v: v.name)
+    head_pool: List[Variable] = list(body_vars)
+    if rng.random() < existential_probability:
+        head_pool.extend(evars[:rng.randint(1, len(evars))])
+    head = [random_atom(head_pool)
+            for _ in range(rng.randint(1, max_head_atoms))]
+    # Guarantee well-formedness: every universal head variable must
+    # occur in the body -- true by construction (head pool draws from
+    # body variables and fresh existentials only).
+    return TGD(body, head, label=label)
+
+
+def random_constraint_set(seed: int, size: int, n_relations: int = 4,
+                          max_arity: int = 3,
+                          existential_probability: float = 0.4,
+                          egd_probability: float = 0.0
+                          ) -> List[Constraint]:
+    """A seeded random constraint set of ``size`` TGDs (and optional
+    EGDs equating two body variables)."""
+    rng = random.Random(seed)
+    schema = random_schema(rng, n_relations, max_arity)
+    out: List[Constraint] = []
+    for index in range(size):
+        if rng.random() < egd_probability:
+            relation = rng.choice(list(schema))
+            arity = schema.arity(relation)
+            variables = [Variable(f"x{i}") for i in range(arity)]
+            other = [Variable(f"x{i}") for i in range(arity, 2 * arity)]
+            body = [Atom(relation, tuple(variables)),
+                    Atom(relation, tuple([variables[0]] + other[1:]))]
+            if arity >= 2:
+                out.append(EGD(body, variables[1], other[1],
+                               label=f"egd_{index}"))
+                continue
+        out.append(random_tgd(rng, schema,
+                              existential_probability=existential_probability,
+                              label=f"tgd_{index}"))
+    return out
+
+
+def random_full_tgds(seed: int, size: int, n_relations: int = 4,
+                     max_arity: int = 3) -> List[Constraint]:
+    """Full TGDs only (no existentials): always weakly acyclic w.r.t.
+    special edges, so the chase terminates -- a soundness workload."""
+    return random_constraint_set(seed, size, n_relations, max_arity,
+                                 existential_probability=0.0)
+
+
+def random_graph_instance(seed: int, n_nodes: int,
+                          edge_probability: float = 0.2,
+                          special_probability: float = 0.3) -> Instance:
+    """A random digraph over ``E``/``S`` (the running graph schema)."""
+    rng = random.Random(seed)
+    facts: List[Atom] = []
+    nodes = [Constant(f"v{i}") for i in range(n_nodes)]
+    for left in nodes:
+        for right in nodes:
+            if left != right and rng.random() < edge_probability:
+                facts.append(Atom("E", (left, right)))
+    for node in nodes:
+        if rng.random() < special_probability:
+            facts.append(Atom("S", (node,)))
+    if not facts:
+        facts.append(Atom("E", (nodes[0], nodes[-1])))
+    return Instance(facts)
+
+
+def random_instance(seed: int, schema: Schema, n_facts: int,
+                    domain_size: int = 8) -> Instance:
+    """Random facts over an explicit schema."""
+    rng = random.Random(seed)
+    domain = [Constant(f"c{i}") for i in range(domain_size)]
+    relations = list(schema)
+    facts = []
+    for _ in range(n_facts):
+        relation = rng.choice(relations)
+        facts.append(Atom(relation, tuple(rng.choice(domain)
+                                          for _ in range(schema.arity(relation)))))
+    return Instance(facts)

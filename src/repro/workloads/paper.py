@@ -1,0 +1,227 @@
+"""Every named constraint set, instance and query from the paper.
+
+Each function returns fresh objects (constraints are immutable and
+hash by value, so sharing would also be safe; fresh copies keep labels
+readable in tests and benches).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cq.query import ConjunctiveQuery
+from repro.lang.constraints import Constraint
+from repro.lang.instance import Instance
+from repro.lang.parser import (parse_constraints, parse_instance, parse_query)
+
+
+# ----------------------------------------------------------------------
+# Introduction
+# ----------------------------------------------------------------------
+def intro_alpha1() -> List[Constraint]:
+    """Each special node has an outgoing edge -- terminating."""
+    return parse_constraints("alpha1: S(x) -> E(x,y)")
+
+
+def intro_alpha2() -> List[Constraint]:
+    """Each special node links to another special node -- the classic
+    divergent example."""
+    return parse_constraints("alpha2: S(x) -> E(x,y), S(y)")
+
+
+def intro_alpha3() -> List[Constraint]:
+    """Harmless-null illustration (idea 2 of the Introduction)."""
+    return parse_constraints("alpha3: S(x), E(x,y) -> E(z,x)")
+
+
+def intro_beta_set() -> List[Constraint]:
+    """{beta1, beta2}: 2- and 3-cycles for special nodes (idea 3)."""
+    return parse_constraints("""
+        beta1: S(x), E(x,y) -> E(y,x);
+        beta2: S(x), E(x,y) -> E(y,z), E(z,x)
+    """)
+
+
+def intro_beta_set_extended() -> List[Constraint]:
+    """{beta1, beta2, beta3} with the empty-body beta3 (idea 4)."""
+    return intro_beta_set() + parse_constraints("beta3: -> S(x), E(x,y)")
+
+
+def intro_instance() -> Instance:
+    """I = {S(n1), S(n2), E(n1, n2)} from the Introduction."""
+    return parse_instance("S(n1). S(n2). E(n1,n2)")
+
+
+# ----------------------------------------------------------------------
+# Figure 2 (= Sigma_2 of Example 15; member of T[3] \\ T[2])
+# ----------------------------------------------------------------------
+def figure2() -> List[Constraint]:
+    """If a special node has a predecessor, that predecessor has one."""
+    return parse_constraints("alpha: S(x2), E(x1,x2) -> E(y,x1)")
+
+
+# ----------------------------------------------------------------------
+# Example 2 / 3 / 6: stratified but not weakly acyclic (and not safe)
+# ----------------------------------------------------------------------
+def example2_gamma() -> List[Constraint]:
+    """Each 2-cycle node also has a 3-cycle; gamma does not precede
+    itself (Examples 2 and 6; also the Theorem 4 witness {gamma})."""
+    return parse_constraints(
+        "gamma: E(x1,x2), E(x2,x1) -> E(x1,y1), E(y1,y2), E(y2,x1)")
+
+
+# ----------------------------------------------------------------------
+# Example 4 / 5 / 7 (Figures 4 and 5): the stratification refutation
+# ----------------------------------------------------------------------
+def example4() -> List[Constraint]:
+    """Stratified, yet admits an infinite chase sequence."""
+    return parse_constraints("""
+        a1: R(x1) -> S(x1,x1);
+        a2: S(x1,x2) -> T(x2,z);
+        a3: S(x1,x2) -> T(x1,x2), T(x2,x1);
+        a4: T(x1,x2), T(x1,x3), T(x3,x1) -> R(x2)
+    """)
+
+
+def example4_instance() -> Instance:
+    return parse_instance("R(a)")
+
+
+def example5_instance() -> Instance:
+    """The instance of Example 5: {R(a), T(b,b)}."""
+    return parse_instance("R(a). T(b,b)")
+
+
+# ----------------------------------------------------------------------
+# Examples 8 / 9 (Figure 6): safety's motivating constraint
+# ----------------------------------------------------------------------
+def example8_beta() -> List[Constraint]:
+    """Safe but not weakly acyclic."""
+    return parse_constraints("beta: R(x1,x2,x3), S(x2) -> R(x2,y,x1)")
+
+
+def theorem4_safe_not_stratified() -> List[Constraint]:
+    """Theorem 4(c)'s pair {alpha, beta}: safe, not stratified."""
+    return parse_constraints("""
+        alpha: S(x2,x3), R(x1,x2,x3) -> R(x2,y,x1);
+        beta: R(x1,x2,x3) -> S(x1,x3)
+    """)
+
+
+# ----------------------------------------------------------------------
+# Examples 10-14: (inductive) restriction
+# ----------------------------------------------------------------------
+def example10() -> List[Constraint]:
+    """{alpha1, alpha2}: neither safe nor stratified, safely
+    restricted."""
+    return parse_constraints("""
+        a1: S(x), E(x,y) -> E(y,x);
+        a2: S(x), E(x,y) -> E(y,z), E(z,x)
+    """)
+
+
+def example13() -> List[Constraint]:
+    """Sigma' = Example 10 + the empty-body alpha3: inductively
+    restricted but not safely restricted."""
+    return example10() + parse_constraints("a3: -> S(x), E(x,y)")
+
+
+def section37_sigma_double_prime() -> List[Constraint]:
+    """Sigma'' of Section 3.7 (the check-algorithm walkthrough)."""
+    return example13() + parse_constraints("""
+        a4: E(x1,x2) -> T(x1,x2);
+        a5: T(x1,x2) -> T(x2,x1)
+    """)
+
+
+# ----------------------------------------------------------------------
+# Figure 9 and Section 4: the travel-agency scenario
+# ----------------------------------------------------------------------
+def figure9() -> List[Constraint]:
+    """The flight/rail constraints (also Example 1 / Figure 3)."""
+    return parse_constraints("""
+        a1: fly(c1,c2,d) -> hasAirport(c1), hasAirport(c2);
+        a2: rail(c1,c2,d) -> rail(c2,c1,d);
+        a3: fly(c1,c2,d) -> fly(c2,c3,d2)
+    """)
+
+
+def query_q1() -> ConjunctiveQuery:
+    """Rail-and-fly (chase diverges on its canonical instance)."""
+    return parse_query("rf(x2) <- rail('c1', x1, y1), fly(x1, x2, y2)")
+
+
+def query_q2() -> ConjunctiveQuery:
+    """Rail-and-fly with the symmetric way back (chase terminates)."""
+    return parse_query(
+        "rffr(x2) <- rail('c1', x1, y1), fly(x1, x2, y2), "
+        "fly(x2, x1, y2), rail(x1, 'c1', y1)")
+
+
+def query_q2_expected_plan() -> ConjunctiveQuery:
+    """q2' of Section 4: the universal plan of q2."""
+    return parse_query(
+        "rffr(x2) <- rail('c1', x1, y1), fly(x1, x2, y2), "
+        "fly(x2, x1, y2), rail(x1, 'c1', y1), "
+        "hasAirport(x1), hasAirport(x2)")
+
+
+def query_q2_double_prime() -> ConjunctiveQuery:
+    """q2'': the join-elimination rewriting."""
+    return parse_query(
+        "rffr(x2) <- rail('c1', x1, y1), fly(x1, x2, y2), fly(x2, x1, y2)")
+
+
+def query_q2_triple_prime() -> ConjunctiveQuery:
+    """q2''': the join-introduction rewriting."""
+    return parse_query(
+        "rffr(x2) <- hasAirport(x1), rail('c1', x1, y1), "
+        "fly(x1, x2, y2), fly(x2, x1, y2)")
+
+
+# ----------------------------------------------------------------------
+# Example 17: the monitor-graph walkthrough
+# ----------------------------------------------------------------------
+def example17_sigma() -> List[Constraint]:
+    """Sigma_3 = {alpha_3} over the ternary predicate (written E in
+    the paper's Example 17)."""
+    return parse_constraints("a3: S(x3), E(x1,x2,x3) -> E(y,x1,x2)")
+
+
+def example17_instance() -> Instance:
+    return parse_instance("S(a1). S(a2). S(a3). E(a1,a2,a3)")
+
+
+# ----------------------------------------------------------------------
+# Example 19: restrictedly guarded but not weakly guarded
+# ----------------------------------------------------------------------
+def example19() -> List[Constraint]:
+    return parse_constraints("""
+        a1: R(x1,x2), S(x1,x2) -> S(x2,y);
+        a2: S(x1,x2), S(x3,x1) -> R(x2,x1);
+        a3: T(x1,x2) -> S(y,x2)
+    """)
+
+
+#: name -> (factory, description) for corpus-style experiments
+NAMED_SETS = {
+    "intro_alpha1": (intro_alpha1, "Introduction: terminating"),
+    "intro_alpha2": (intro_alpha2, "Introduction: divergent"),
+    "intro_alpha3": (intro_alpha3, "Introduction: harmless nulls"),
+    "intro_betas": (intro_beta_set, "Introduction: null-flow supervision"),
+    "intro_betas_ext": (intro_beta_set_extended,
+                        "Introduction: inductive decomposition"),
+    "figure2": (figure2, "Figure 2: T[3] \\ T[2]"),
+    "example2_gamma": (example2_gamma, "Ex. 2: stratified, not WA/safe"),
+    "example4": (example4, "Ex. 4: stratified, not c-stratified"),
+    "example8_beta": (example8_beta, "Ex. 9: safe, not WA"),
+    "thm4_safe_not_strat": (theorem4_safe_not_stratified,
+                            "Thm. 4c: safe, not stratified"),
+    "example10": (example10, "Ex. 10: safely restricted only"),
+    "example13": (example13, "Ex. 13: inductively restricted only"),
+    "sigma_double_prime": (section37_sigma_double_prime,
+                           "Sec. 3.7: check() walkthrough"),
+    "figure9": (figure9, "Fig. 9: travel agency"),
+    "example17": (example17_sigma, "Ex. 17: monitor graph"),
+    "example19": (example19, "Ex. 19: RG, not WG"),
+}

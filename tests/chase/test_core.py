@@ -1,0 +1,45 @@
+"""Core-computation tests."""
+
+from hypothesis import given, settings
+
+from repro.chase.core import core, is_core
+from repro.homomorphism.engine import null_renaming_equivalent
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+from repro.lang.parser import parse_instance
+from repro.lang.terms import Constant, Null
+
+from tests.conftest import graph_instances
+
+a, b = Constant("a"), Constant("b")
+
+
+class TestCore:
+    def test_constant_instance_is_its_own_core(self):
+        inst = parse_instance("E(a,b). E(b,a)")
+        assert is_core(inst)
+        assert core(inst) == inst
+
+    def test_redundant_null_folded(self):
+        # E(a, n1) folds into E(a, b)
+        inst = Instance([Atom("E", (a, b)), Atom("E", (a, Null(1)))])
+        folded = core(inst)
+        assert folded == parse_instance("E(a,b)")
+
+    def test_null_chain_folds(self):
+        inst = Instance([Atom("E", (a, Null(1))), Atom("E", (Null(1), Null(2))),
+                         Atom("E", (a, b)), Atom("E", (b, a))])
+        folded = core(inst)
+        assert folded == parse_instance("E(a,b). E(b,a)")
+
+    def test_non_foldable_nulls_remain(self):
+        inst = Instance([Atom("E", (a, Null(1)))])
+        assert is_core(inst)
+
+    @given(graph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_core_is_equivalent_and_minimal(self, inst):
+        folded = core(inst)
+        assert null_renaming_equivalent(folded, inst)
+        assert is_core(folded)
+        assert len(folded) <= len(inst)

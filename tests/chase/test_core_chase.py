@@ -1,0 +1,49 @@
+"""Core chase tests (the conclusions' remark on [9])."""
+
+from repro.chase import chase, ChaseStatus, RoundRobinStrategy
+from repro.chase.core import is_core
+from repro.chase.core_chase import core_chase
+from repro.homomorphism.extend import all_satisfied
+from repro.lang.parser import parse_constraints, parse_instance
+from repro.workloads.paper import example4, example4_instance
+
+
+class TestCoreChase:
+    def test_terminating_set(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        result = core_chase(parse_instance("S(a). E(a,b)"), sigma)
+        assert result.status is ChaseStatus.TERMINATED
+        # the null witness folds onto E(a,b): the core is the input
+        assert result.instance == parse_instance("S(a). E(a,b)")
+
+    def test_result_is_a_core_model(self):
+        sigma = parse_constraints("S(x) -> E(x,y); E(x,y) -> E(y,x)")
+        result = core_chase(parse_instance("S(a). S(b)"), sigma)
+        assert result.status is ChaseStatus.TERMINATED
+        assert all_satisfied(sigma, result.instance)
+        assert is_core(result.instance)
+
+    def test_tames_example4(self):
+        """The core chase terminates on Example 4 even though the
+        round-robin standard chase diverges: folding removes the
+        spurious T(x, null) atoms each round."""
+        sigma = example4()
+        naive = chase(example4_instance(), sigma,
+                      strategy=RoundRobinStrategy(), max_steps=200)
+        assert naive.status is ChaseStatus.EXCEEDED_BUDGET
+        cored = core_chase(example4_instance(), sigma, max_rounds=50,
+                           steps_per_round=20)
+        assert cored.status is ChaseStatus.TERMINATED
+        assert all_satisfied(sigma, cored.instance)
+        assert is_core(cored.instance)
+
+    def test_genuinely_infinite_model_exceeds_budget(self):
+        sigma = parse_constraints("P(x) -> Q(x,y), P(y)")
+        result = core_chase(parse_instance("P(a)"), sigma, max_rounds=5,
+                            steps_per_round=20)
+        assert result.status is ChaseStatus.EXCEEDED_BUDGET
+
+    def test_egd_failure_propagates(self):
+        sigma = parse_constraints("E(x,y), E(x,z) -> y = z")
+        result = core_chase(parse_instance("E(a,b). E(a,c)"), sigma)
+        assert result.status is ChaseStatus.FAILED

@@ -1,0 +1,36 @@
+"""ChaseResult / budget-probe utilities."""
+
+from repro.chase import (chase, chase_with_budget_probe, ChaseStatus,
+                         RoundRobinStrategy)
+from repro.lang.parser import parse_constraints, parse_instance
+from repro.workloads.paper import example4, example4_instance
+
+
+class TestChaseResult:
+    def test_describe_lists_steps(self):
+        sigma = parse_constraints("lbl: S(x) -> T(x)")
+        result = chase(parse_instance("S(a)"), sigma)
+        text = result.describe()
+        assert "terminated" in text
+        assert "lbl" in text and "T(a)" in text
+
+    def test_length_and_null_count(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        result = chase(parse_instance("S(a). S(b)"), sigma)
+        assert result.length == 2
+        assert result.new_null_count() == 2
+
+
+class TestBudgetProbe:
+    def test_returns_first_conclusive_budget(self):
+        sigma = parse_constraints("S(x) -> T(x); T(x) -> U(x)")
+        result, budget = chase_with_budget_probe(
+            parse_instance("S(a)"), sigma, budgets=[1, 10, 100])
+        assert result.status is ChaseStatus.TERMINATED
+        assert budget == 10
+
+    def test_divergent_exhausts_all_budgets(self):
+        result, budget = chase_with_budget_probe(
+            example4_instance(), example4(), budgets=[50, 100])
+        assert result.status is ChaseStatus.EXCEEDED_BUDGET
+        assert budget == 100

@@ -1,0 +1,131 @@
+"""Chase runner tests: termination, failure, divergence, soundness."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.chase import (chase, ChaseStatus, oblivious_chase,
+                         OrderedStrategy, RandomStrategy, RoundRobinStrategy)
+from repro.homomorphism.engine import null_renaming_equivalent
+from repro.homomorphism.extend import all_satisfied
+from repro.lang.parser import parse_constraints, parse_instance
+
+from tests.conftest import graph_instances, graph_tgd_sets
+
+
+class TestIntroExamples:
+    def test_alpha1_terminates(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        result = chase(parse_instance("S(n1). S(n2). E(n1,n2)"), sigma)
+        assert result.terminated
+        assert len(result.instance) == 4
+        assert all_satisfied(sigma, result.instance)
+
+    def test_alpha2_diverges(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        result = chase(parse_instance("S(n1). S(n2). E(n1,n2)"), sigma,
+                       max_steps=64)
+        assert result.status is ChaseStatus.EXCEEDED_BUDGET
+
+    def test_input_instance_untouched_by_default(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        inst = parse_instance("S(a)")
+        chase(inst, sigma)
+        assert len(inst) == 1
+
+    def test_copy_false_mutates(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        inst = parse_instance("S(a)")
+        chase(inst, sigma, copy=False)
+        assert len(inst) == 2
+
+
+class TestEGDs:
+    def test_null_merging(self):
+        sigma = parse_constraints("E(x,y), E(x,z) -> y = z")
+        result = chase(parse_instance("E(a,b). E(a,?n1). E(?n1,c)"), sigma)
+        assert result.terminated
+        assert result.instance == parse_instance("E(a,b). E(b,c)")
+
+    def test_failure_on_distinct_constants(self):
+        sigma = parse_constraints("E(x,y), E(x,z) -> y = z")
+        result = chase(parse_instance("E(a,b). E(a,c)"), sigma)
+        assert result.status is ChaseStatus.FAILED
+        assert result.failure_reason
+
+    def test_egd_plus_tgd_interplay(self):
+        sigma = parse_constraints("""
+            S(x) -> E(x,y);
+            E(x,y), E(x,z) -> y = z
+        """)
+        result = chase(parse_instance("S(a). E(a,b)"), sigma)
+        assert result.terminated
+        assert all_satisfied(sigma, result.instance)
+
+
+class TestSequenceRecording:
+    def test_steps_recorded_in_order(self):
+        sigma = parse_constraints("S(x) -> T(x); T(x) -> U(x)")
+        result = chase(parse_instance("S(a)"), sigma)
+        assert [s.index for s in result.sequence] == list(range(result.length))
+        assert result.length == 2
+
+    def test_new_nulls_reported(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        result = chase(parse_instance("S(a)"), sigma)
+        assert result.new_null_count() == 1
+
+
+class TestObliviousChase:
+    def test_fires_satisfied_triggers_once(self):
+        # alpha is satisfied (E(a,b) has an out-edge) but the oblivious
+        # chase still fires it, once per trigger.
+        sigma = parse_constraints("E(x,y) -> E(y,z)")
+        result = oblivious_chase(parse_instance("E(a,b). E(b,c). E(c,a)"),
+                                 sigma, max_steps=500)
+        # every E-fact spawns one new null edge, which spawns another...
+        assert result.status is ChaseStatus.EXCEEDED_BUDGET
+
+    def test_terminates_on_non_generating_sets(self):
+        sigma = parse_constraints(
+            "E(x1,x2), E(x2,x1) -> E(x1,y1), E(y1,y2), E(y2,x1)")
+        result = oblivious_chase(parse_instance("E(a,b). E(b,a)"), sigma,
+                                 max_steps=500)
+        assert result.terminated
+        assert result.length == 2  # both homomorphisms of the 2-cycle
+
+    def test_full_tgds_terminate(self):
+        sigma = parse_constraints("E(x,y) -> E(y,x)")
+        result = oblivious_chase(parse_instance("E(a,b)"), sigma)
+        assert result.terminated
+        assert len(result.instance) == 2
+
+
+class TestChaseProperties:
+    @given(graph_tgd_sets(max_size=2, allow_existential=False),
+           graph_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_full_tgd_chase_sound(self, sigma, inst):
+        """Full TGDs always terminate and the result satisfies Sigma."""
+        result = chase(inst, sigma, max_steps=5000)
+        assert result.terminated
+        assert all_satisfied(sigma, result.instance)
+
+    @given(graph_tgd_sets(max_size=2), graph_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_chase_orders_homomorphically_equivalent(self, sigma, inst):
+        """Two terminating orders give homomorphically equivalent
+        results (the classical result the paper recalls in Sec. 2)."""
+        r1 = chase(inst, sigma, strategy=OrderedStrategy(), max_steps=300)
+        r2 = chase(inst, sigma, strategy=RandomStrategy(seed=7),
+                   max_steps=300)
+        if r1.terminated and r2.terminated:
+            assert null_renaming_equivalent(r1.instance, r2.instance)
+
+    @given(graph_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_round_robin_equals_ordered_on_terminating_sets(self, inst):
+        sigma = parse_constraints("S(x) -> E(x,y); E(x,y) -> E(y,x)")
+        r1 = chase(inst, sigma, strategy=RoundRobinStrategy())
+        r2 = chase(inst, sigma, strategy=OrderedStrategy())
+        assert r1.terminated and r2.terminated
+        assert null_renaming_equivalent(r1.instance, r2.instance)

@@ -1,0 +1,68 @@
+"""CQ containment / equivalence, plain and under constraints."""
+
+import pytest
+
+from repro.cq.containment import contained_in, equivalent
+from repro.lang.errors import NonTerminationBudget
+from repro.lang.parser import parse_constraints, parse_query
+
+
+class TestClassicalContainment:
+    def test_subquery_contains_query(self):
+        q_big = parse_query("q(x) <- E(x,y), E(y,x), S(x)")
+        q_small = parse_query("q(x) <- E(x,y)")
+        assert contained_in(q_big, q_small)
+        assert not contained_in(q_small, q_big)
+
+    def test_equivalence_by_redundancy(self):
+        q1 = parse_query("q(x) <- E(x,y), E(x,z)")
+        q2 = parse_query("q(x) <- E(x,y)")
+        assert equivalent(q1, q2)
+
+    def test_head_must_be_preserved(self):
+        q1 = parse_query("q(x) <- E(x,y)")
+        q2 = parse_query("q(y) <- E(x,y)")
+        assert not contained_in(q1, q2)
+        assert not contained_in(q2, q1)
+
+    def test_constants_distinguish(self):
+        q1 = parse_query("q(x) <- E('a', x)")
+        q2 = parse_query("q(x) <- E(y, x)")
+        assert contained_in(q1, q2)
+        assert not contained_in(q2, q1)
+
+
+class TestContainmentUnderConstraints:
+    SIGMA = "E(x,y) -> E(y,x)"  # symmetry
+
+    def test_symmetry_collapses_directions(self):
+        sigma = parse_constraints(self.SIGMA)
+        q1 = parse_query("q(x) <- E(x,y)")
+        q2 = parse_query("q(x) <- E(y,x)")
+        assert not equivalent(q1, q2)          # not classically
+        assert equivalent(q1, q2, sigma)       # but under symmetry
+
+    def test_transitivity_example(self):
+        sigma = parse_constraints("E(x,y), E(y,z) -> E(x,z)")
+        q_path = parse_query("q(x,z) <- E(x,y), E(y,z)")
+        q_edge = parse_query("q(x,z) <- E(x,z)")
+        # classically incomparable: a single edge is not a 2-path
+        # (no midpoint), and a 2-path has no direct edge
+        assert not contained_in(q_edge, q_path)
+        assert not contained_in(q_path, q_edge)
+        # under transitivity, every 2-path implies the direct edge
+        assert contained_in(q_path, q_edge, sigma)
+        # ... but an edge still yields no 2-path
+        assert not contained_in(q_edge, q_path, sigma)
+
+    def test_divergent_chase_raises(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        q = parse_query("q(x) <- S(x)")
+        with pytest.raises(NonTerminationBudget):
+            contained_in(q, q, sigma, max_steps=100)
+
+    def test_cycle_limit_aborts_fast(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        q = parse_query("q(x) <- S(x)")
+        with pytest.raises(NonTerminationBudget):
+            contained_in(q, q, sigma, max_steps=100_000, cycle_limit=2)

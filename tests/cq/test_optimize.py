@@ -1,0 +1,70 @@
+"""The Section 4 SQO pipeline on the travel-agency scenario."""
+
+import pytest
+
+from repro.cq.containment import equivalent
+from repro.cq.optimize import optimize, universal_plan
+from repro.lang.errors import NonTerminationBudget
+from repro.lang.parser import parse_constraints, parse_query
+from repro.workloads.paper import (figure9, query_q1, query_q2,
+                                   query_q2_double_prime,
+                                   query_q2_expected_plan,
+                                   query_q2_triple_prime)
+
+
+class TestUniversalPlan:
+    def test_q2_plan_is_q2_prime(self):
+        plan = universal_plan(query_q2(), figure9(), cycle_limit=3)
+        assert len(plan.body) == 6
+        assert equivalent(plan, query_q2_expected_plan())
+        body_relations = sorted(a.relation for a in plan.body)
+        assert body_relations.count("hasAirport") == 2
+
+    def test_q1_diverges(self):
+        with pytest.raises(NonTerminationBudget):
+            universal_plan(query_q1(), figure9(), cycle_limit=3)
+
+    def test_plan_without_guard_uses_step_budget(self):
+        with pytest.raises(NonTerminationBudget):
+            universal_plan(query_q1(), figure9(), cycle_limit=None,
+                           max_steps=200)
+
+    def test_plan_preserves_equivalence(self):
+        sigma = figure9()
+        plan = universal_plan(query_q2(), sigma, cycle_limit=3)
+        assert equivalent(plan, query_q2(), sigma, cycle_limit=3)
+
+
+class TestOptimize:
+    def test_q2_rewritings(self):
+        """Reproduces q2'' (join elimination) and q2''' (join
+        introduction) from Section 4."""
+        result = optimize(query_q2(), figure9(), cycle_limit=3)
+        minimal = result.minimal_rewritings()
+        assert minimal, "no rewritings found"
+        assert min(len(q.body) for q in minimal) == 3
+        q2pp = query_q2_double_prime()
+        assert any(equivalent(q, q2pp) for q in minimal)
+        q2ppp = query_q2_triple_prime()
+        assert any(equivalent(q, q2ppp) for q in result.rewritings)
+
+    def test_all_rewritings_equivalent_to_original(self):
+        sigma = figure9()
+        result = optimize(query_q2(), sigma, cycle_limit=3)
+        for rewriting in result.rewritings:
+            assert equivalent(rewriting, query_q2(), sigma, cycle_limit=3)
+
+    def test_rewritings_keep_head_variables(self):
+        result = optimize(query_q2(), figure9(), cycle_limit=3)
+        for rewriting in result.rewritings:
+            assert query_q2().head_variables() <= rewriting.variables()
+
+    def test_trivial_sigma_yields_core_like_minimization(self):
+        q = parse_query("q(x) <- E(x,y), E(x,z)")
+        result = optimize(q, [])
+        assert any(len(r.body) == 1 for r in result.rewritings)
+
+    def test_subquery_cap(self):
+        result = optimize(query_q2(), figure9(), cycle_limit=3,
+                          max_subquery_atoms=3)
+        assert all(len(r.body) <= 3 for r in result.rewritings)

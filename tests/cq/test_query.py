@@ -1,0 +1,88 @@
+"""Conjunctive query representation and evaluation."""
+
+import pytest
+
+from repro.cq.query import ConjunctiveQuery, unfreeze
+from repro.lang.atoms import Atom
+from repro.lang.errors import SchemaError
+from repro.lang.parser import parse_instance, parse_query
+from repro.lang.terms import Constant, Null, Variable
+
+x, y = Variable("x"), Variable("y")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestConstruction:
+    def test_head_variables_must_occur_in_body(self):
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery("q", (x,), (Atom("E", (y, y)),))
+
+    def test_no_nulls_in_queries(self):
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery("q", (Null(1),), (Atom("S", (x,)),))
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery("q", (), (Atom("S", (x,)),))
+        assert q.is_boolean
+
+    def test_variable_classification(self):
+        q = parse_query("q(x) <- E(x,y), S(x)")
+        assert q.head_variables() == {x}
+        assert q.existential_variables() == {y}
+
+
+class TestEvaluation:
+    def test_simple_selection(self):
+        q = parse_query("q(x) <- S(x)")
+        inst = parse_instance("S(a). S(b). E(a,b)")
+        assert q.evaluate(inst) == {(a,), (b,)}
+
+    def test_join_evaluation(self):
+        q = parse_query("q(x, z) <- E(x,y), E(y,z)")
+        inst = parse_instance("E(a,b). E(b,c)")
+        assert q.evaluate(inst) == {(a, c)}
+
+    def test_constants_in_body(self):
+        q = parse_query("q(y) <- E('a', y)")
+        inst = parse_instance("E(a,b). E(b,c)")
+        assert q.evaluate(inst) == {(b,)}
+
+    def test_null_answers_dropped_by_default(self):
+        q = parse_query("q(y) <- E('a', y)")
+        inst = parse_instance("E(a, ?n1). E(a, b)")
+        assert q.evaluate(inst) == {(b,)}
+        assert q.evaluate(inst, constants_only=False) == {(b,), (Null(1),)}
+
+    def test_holds_in(self):
+        q = parse_query("q(x) <- E(x,x)")
+        assert q.holds_in(parse_instance("E(a,a)"))
+        assert not q.holds_in(parse_instance("E(a,b)"))
+
+
+class TestFreezeUnfreeze:
+    def test_freeze_produces_canonical_instance(self):
+        q = parse_query("q(x) <- E(x,y), S(x)")
+        frozen, mapping = q.freeze()
+        assert len(frozen) == 2
+        assert frozen.nulls() == set(mapping.values())
+        assert set(mapping) == {x, y}
+
+    def test_freeze_keeps_constants(self):
+        q = parse_query("q(x) <- E('hub', x)")
+        frozen, _ = q.freeze()
+        assert Constant("hub") in frozen.domain()
+
+    def test_unfreeze_roundtrip(self):
+        q = parse_query("q(x) <- E(x,y), S(x)")
+        frozen, mapping = q.freeze()
+        back = unfreeze(frozen, mapping, q)
+        assert set(back.body) == set(q.body)
+        assert back.head == q.head
+
+    def test_unfreeze_names_chase_nulls(self):
+        q = parse_query("q(x) <- S(x)")
+        frozen, mapping = q.freeze()
+        frozen.add(Atom("E", (mapping[x], Null(77))))
+        back = unfreeze(frozen, mapping, q)
+        new_vars = {v.name for atom in back.body for v in atom.variables()}
+        assert "x" in new_vars and any(n.startswith("z") for n in new_vars)

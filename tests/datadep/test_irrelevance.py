@@ -1,0 +1,81 @@
+"""(I, Sigma)-irrelevance and the static guarantee (Section 4.1)."""
+
+import pytest
+
+from repro.datadep.irrelevance import (instance_constraint,
+                                       irrelevant_constraints,
+                                       relevant_constraints,
+                                       terminates_statically)
+from repro.chase import chase
+from repro.lang.instance import Instance
+from repro.lang.parser import parse_constraints, parse_instance
+from repro.workloads.paper import (figure9, query_q1, query_q2)
+
+
+class TestInstanceConstraint:
+    def test_alpha_i_shape(self):
+        inst = parse_instance("E(a,b). S(a)")
+        alpha_i = instance_constraint(inst)
+        assert alpha_i.body == ()
+        assert len(alpha_i.head) == 2
+        # every element became an existential variable
+        assert len(alpha_i.existential_variables()) == 2
+
+    def test_nulls_also_become_variables(self):
+        inst = parse_instance("E(a, ?n1)")
+        alpha_i = instance_constraint(inst)
+        assert len(alpha_i.existential_variables()) == 2
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ValueError):
+            instance_constraint(Instance())
+
+
+class TestExample16:
+    def test_q2_irrelevance(self):
+        """Chasing q2: alpha2 and alpha3 are certified irrelevant."""
+        sigma = figure9()
+        frozen, _ = query_q2().freeze()
+        relevant = relevant_constraints(frozen, sigma)
+        assert {c.label for c in relevant} == {"a1"}
+        irrelevant = irrelevant_constraints(frozen, sigma)
+        assert {c.label for c in irrelevant} == {"a2", "a3"}
+
+    def test_q2_terminates_statically(self):
+        sigma = figure9()
+        frozen, _ = query_q2().freeze()
+        assert terminates_statically(frozen, sigma) == 2
+        # ... and the chase indeed terminates
+        result = chase(frozen, sigma, max_steps=100)
+        assert result.terminated
+
+    def test_q1_no_guarantee(self):
+        """q1 triggers alpha3 whose chase diverges: no static
+        guarantee, and the chase indeed exceeds any budget."""
+        sigma = figure9()
+        frozen, _ = query_q1().freeze()
+        relevant = relevant_constraints(frozen, sigma)
+        assert "a3" in {c.label for c in relevant}
+        assert terminates_statically(frozen, sigma) is None
+        result = chase(frozen, sigma, max_steps=200)
+        assert not result.terminated
+
+
+class TestConservativeness:
+    def test_empty_body_constraints_always_relevant(self):
+        sigma = parse_constraints("b3: -> S(x), E(x,y); a: S(x) -> T(x)")
+        inst = parse_instance("E(a,b)")
+        relevant = relevant_constraints(inst, sigma)
+        assert "b3" in {c.label for c in relevant}
+
+    def test_disconnected_constraints_irrelevant(self):
+        sigma = parse_constraints("a: P(x) -> Q(x); b: Z(x) -> W(x)")
+        inst = parse_instance("P(c)")
+        irrelevant = irrelevant_constraints(inst, sigma)
+        assert {c.label for c in irrelevant} == {"b"}
+
+    def test_transitive_relevance(self):
+        sigma = parse_constraints("a: P(x) -> Q(x); b: Q(x) -> W(x)")
+        inst = parse_instance("P(c)")
+        relevant = relevant_constraints(inst, sigma)
+        assert {c.label for c in relevant} == {"a", "b"}

@@ -1,0 +1,129 @@
+"""Monitor graph and k-cyclicity tests (Definitions 17-19, Ex. 17/18,
+Proposition 11, Lemma 5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.chase import chase, ChaseStatus
+from repro.datadep.monitor import MonitorGraph
+from repro.datadep.monitored_chase import monitored_chase, pay_as_you_go
+from repro.lang.atoms import Position
+from repro.lang.parser import parse_constraints, parse_instance
+from repro.workloads.families import prop11_family
+from repro.workloads.paper import example17_instance, example17_sigma
+
+from tests.conftest import graph_instances, graph_tgd_sets
+
+
+class TestExample17:
+    def test_monitor_graph_structure(self):
+        result = chase(example17_instance(), example17_sigma())
+        assert result.terminated and result.length == 3
+        graph = MonitorGraph.from_sequence(result.sequence)
+        assert len(graph.nodes) == 3
+        assert len(graph.edges) == 3
+        # all three nulls first appear at E^1
+        assert all(node.positions == frozenset({Position("E", 1)})
+                   for node in graph.nodes.values())
+        # the path y1 -> y2 -> y3 shares one label; the skip edge
+        # y1 -> y3 carries body position E^2 instead
+        bodies = sorted(tuple(sorted(map(str, e.body_positions)))
+                        for e in graph.edges)
+        assert bodies == [("E^1",), ("E^1",), ("E^2",)]
+
+    def test_example18_cyclicity(self):
+        result = chase(example17_instance(), example17_sigma())
+        graph = MonitorGraph.from_sequence(result.sequence)
+        assert graph.is_k_cyclic(2)
+        assert not graph.is_k_cyclic(3)
+        assert graph.cycle_depth == 2
+
+
+class TestProposition11:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    def test_frontier(self, k):
+        sigma, inst = prop11_family(k)
+        result = chase(inst, sigma)
+        assert result.terminated
+        graph = MonitorGraph.from_sequence(result.sequence)
+        assert graph.is_k_cyclic(k - 1)
+        assert not graph.is_k_cyclic(k)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_monitored_chase_pay_as_you_go(self, k):
+        sigma, inst = prop11_family(k)
+        assert monitored_chase(inst, sigma, k - 1).aborted
+        assert not monitored_chase(inst, sigma, k).aborted
+        payg = pay_as_you_go(inst, sigma, max_cycle_limit=k + 2)
+        assert not payg.aborted
+        assert payg.cycle_limit == k
+
+    def test_family_not_inductively_restricted(self):
+        from repro.termination.restriction import is_inductively_restricted
+        sigma, _inst = prop11_family(3)
+        assert not is_inductively_restricted(sigma)
+
+
+class TestDivergenceDetection:
+    def test_intro_alpha2_aborts_quickly(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        result = monitored_chase(parse_instance("S(a)"), sigma, 3,
+                                 max_steps=10_000)
+        assert result.aborted
+        # caught after a handful of steps, not after the full budget
+        assert result.result.length < 20
+
+    def test_terminating_set_unaffected(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        result = monitored_chase(parse_instance("S(a). S(b)"), sigma, 1)
+        assert result.status is ChaseStatus.TERMINATED
+
+    def test_invalid_limit(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        with pytest.raises(ValueError):
+            monitored_chase(parse_instance("S(a)"), sigma, 0)
+
+
+class TestMonitorGraphInvariants:
+    def test_egd_steps_ignored(self):
+        sigma = parse_constraints("""
+            S(x) -> E(x,y);
+            E(x,y), E(x,z) -> y = z
+        """)
+        result = chase(parse_instance("S(a). E(a,b)"), sigma)
+        graph = MonitorGraph.from_sequence(result.sequence)
+        assert result.terminated
+
+    def test_initial_nulls_are_not_nodes(self):
+        """Definition 18: only nulls created during the run become
+        nodes; nulls of the input instance do not."""
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        result = chase(parse_instance("S(?n1)"), sigma)
+        graph = MonitorGraph.from_sequence(result.sequence)
+        assert len(graph.nodes) == 1  # only the chase-created null
+        assert len(graph.edges) == 0  # ?n1 is not a node, so no edge
+
+    @given(graph_tgd_sets(max_size=2), graph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_acyclic_forest_property(self, sigma, inst):
+        """Proposition 8: the monitor graph is a DAG whose edges point
+        from earlier-created to later-created nulls."""
+        result = chase(inst, sigma, max_steps=200)
+        graph = MonitorGraph.from_sequence(result.sequence)
+        order = {null: i for i, null in enumerate(graph.nodes)}
+        for edge in graph.edges:
+            assert order[edge.source.null] < order[edge.target.null]
+
+    @given(graph_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_lemma5_contrapositive(self, inst):
+        """A terminating run's monitor graph has bounded cycle depth;
+        re-running under that limit + 1 never aborts (Lemma 5's
+        pay-as-you-go reading)."""
+        sigma = parse_constraints("S(x), E(x,y) -> E(y,z)")
+        result = chase(inst, sigma, max_steps=500)
+        if result.terminated:
+            depth = MonitorGraph.from_sequence(result.sequence).cycle_depth
+            monitored = monitored_chase(inst, sigma, depth + 1,
+                                        max_steps=500)
+            assert not monitored.aborted

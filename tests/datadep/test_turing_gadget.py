@@ -1,0 +1,83 @@
+"""The Theorem 8 reduction: chasing Sigma_M simulates machine M.
+
+Undecidability is a theorem, not a test; what we verify is the gadget's
+*operational* behaviour: the probe constraint alpha_t can fire iff the
+machine actually uses transition t.
+"""
+
+import pytest
+
+from repro.chase import chase, OrderedStrategy
+from repro.lang.instance import Instance
+from repro.lang.parser import parse_instance
+from repro.workloads.turing import (compile_machine, sample_halting_machine,
+                                    sample_unreachable_transition_machine,
+                                    Transition, TuringMachine)
+
+
+def _probe_fired(result, name: str) -> bool:
+    return any(fact.relation == "A_" + name for fact in result.instance)
+
+
+class TestReferenceInterpreter:
+    def test_halting_machine_uses_both_transitions(self):
+        machine = sample_halting_machine()
+        used = machine.run()
+        assert len(used) == 2
+
+    def test_unreachable_transition_never_used(self):
+        machine = sample_unreachable_transition_machine()
+        assert machine.run() == []
+
+
+class TestCompilation:
+    def test_probe_per_transition(self):
+        machine = sample_halting_machine()
+        compiled = compile_machine(machine)
+        for transition in machine.transitions:
+            assert transition.name in compiled
+
+    def test_initial_configuration_fires_once(self):
+        machine = sample_halting_machine()
+        sigma = compile_machine(machine)["sigma"]
+        init = [c for c in sigma if c.label == "init"]
+        assert len(init) == 1 and init[0].body == ()
+
+
+class TestSimulation:
+    def test_used_transitions_fire(self):
+        """Both transitions of the halting machine leave A_t facts."""
+        machine = sample_halting_machine()
+        sigma = compile_machine(machine)["sigma"]
+        result = chase(Instance(), sigma, strategy=OrderedStrategy(),
+                       max_steps=3000)
+        for transition in machine.transitions:
+            assert _probe_fired(result, transition.name), transition.name
+
+    def test_unreachable_transition_never_fires(self):
+        machine = sample_unreachable_transition_machine()
+        sigma = compile_machine(machine)["sigma"]
+        result = chase(Instance(), sigma, strategy=OrderedStrategy(),
+                       max_steps=2000)
+        (transition,) = machine.transitions
+        assert not _probe_fired(result, transition.name)
+
+    def test_grid_structure(self):
+        """Rows are linked by L/R vertical edges (the proof's grid)."""
+        machine = sample_halting_machine()
+        sigma = compile_machine(machine)["sigma"]
+        result = chase(Instance(), sigma, strategy=OrderedStrategy(),
+                       max_steps=3000)
+        relations = {fact.relation for fact in result.instance}
+        assert {"T", "H", "L", "R"} <= relations
+
+    def test_looping_machine_diverges(self):
+        """A machine that loops forever yields a divergent chase --
+        the operational heart of the Theorem 8 reduction."""
+        machine = TuringMachine(
+            states=["s0"], alphabet=["1"], initial_state="s0",
+            transitions=[Transition("s0", "_", "s0", "_", "R")])
+        sigma = compile_machine(machine)["sigma"]
+        result = chase(Instance(), sigma, strategy=OrderedStrategy(),
+                       max_steps=600)
+        assert not result.terminated

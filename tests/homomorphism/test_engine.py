@@ -1,0 +1,108 @@
+"""Unit and property tests for the homomorphism engine."""
+
+from hypothesis import given
+
+from repro.homomorphism.engine import (apply_assignment, find_homomorphism,
+                                       find_homomorphisms, has_homomorphism,
+                                       homomorphism_between,
+                                       instance_maps_into,
+                                       null_renaming_equivalent)
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+from repro.lang.parser import parse_atoms, parse_instance
+from repro.lang.terms import Constant, Null, Variable
+
+from tests.conftest import graph_instances
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestBasicSearch:
+    def test_single_atom(self):
+        inst = parse_instance("E(a,b). E(b,c)")
+        homs = list(find_homomorphisms([Atom("E", (x, y))], inst))
+        assert len(homs) == 2
+        assert {(h[x], h[y]) for h in homs} == {(a, b), (b, c)}
+
+    def test_join(self):
+        inst = parse_instance("E(a,b). E(b,c). E(a,c)")
+        pattern = [Atom("E", (x, y)), Atom("E", (y, z))]
+        homs = list(find_homomorphisms(pattern, inst))
+        assert {(h[x], h[y], h[z]) for h in homs} == {(a, b, c)}
+
+    def test_constants_must_match(self):
+        inst = parse_instance("E(a,b)")
+        assert has_homomorphism([Atom("E", (a, y))], inst)
+        assert not has_homomorphism([Atom("E", (b, y))], inst)
+
+    def test_repeated_variable(self):
+        inst = parse_instance("E(a,a). E(a,b)")
+        homs = list(find_homomorphisms([Atom("E", (x, x))], inst))
+        assert len(homs) == 1 and homs[0][x] == a
+
+    def test_partial_binding(self):
+        inst = parse_instance("E(a,b). E(b,c)")
+        homs = list(find_homomorphisms([Atom("E", (x, y))], inst,
+                                       partial={x: b}))
+        assert len(homs) == 1 and homs[0][y] == c
+
+    def test_limit(self):
+        inst = parse_instance("E(a,b). E(b,c). E(c,a)")
+        assert len(list(find_homomorphisms([Atom("E", (x, y))], inst,
+                                           limit=2))) == 2
+
+    def test_source_nulls_are_rigid(self):
+        inst = Instance([Atom("E", (a, Null(1)))])
+        assert has_homomorphism([Atom("E", (x, Null(1)))], inst)
+        assert not has_homomorphism([Atom("E", (x, Null(2)))], inst)
+
+    def test_empty_pattern(self):
+        assert find_homomorphism([], parse_instance("E(a,b)")) == {}
+
+    def test_unsatisfiable(self):
+        inst = parse_instance("E(a,b)")
+        assert find_homomorphism([Atom("S", (x,))], inst) is None
+
+
+class TestHelpers:
+    def test_apply_assignment(self):
+        grounded = apply_assignment([Atom("E", (x, y))], {x: a, y: b})
+        assert grounded == [Atom("E", (a, b))]
+
+    def test_homomorphism_between_atom_sets(self):
+        source = parse_atoms("E(x,y), E(y,x)")
+        target = parse_atoms("E(a,a)", instance_mode=True)
+        hom = homomorphism_between(source, target)
+        assert hom is not None and hom[x] == a
+
+    def test_instance_maps_into_moves_nulls(self):
+        source = Instance([Atom("E", (a, Null(1)))])
+        target = parse_instance("E(a,b)")
+        assert instance_maps_into(source, target)
+        assert not instance_maps_into(target, source)  # b is a constant
+
+    def test_null_renaming_equivalence(self):
+        left = Instance([Atom("E", (a, Null(1)))])
+        right = Instance([Atom("E", (a, Null(2)))])
+        assert null_renaming_equivalent(left, right)
+
+
+class TestProperties:
+    @given(graph_instances())
+    def test_identity_homomorphism_exists(self, inst):
+        """Every instance maps into itself."""
+        assert instance_maps_into(inst, inst)
+
+    @given(graph_instances(), graph_instances())
+    def test_union_absorbs(self, left, right):
+        """Any instance maps into any superset of itself."""
+        assert instance_maps_into(left, left | right)
+
+    @given(graph_instances())
+    def test_found_homomorphisms_are_correct(self, inst):
+        """Every reported assignment really embeds the pattern."""
+        pattern = [Atom("E", (x, y)), Atom("S", (x,))]
+        for hom in find_homomorphisms(pattern, inst):
+            for atom in apply_assignment(pattern, hom):
+                assert atom in inst

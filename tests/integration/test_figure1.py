@@ -1,0 +1,110 @@
+"""Integration: the complete Figure 1 landscape.
+
+Every strict inclusion and incomparability of the paper's Figure 1 is
+witnessed by a named constraint set, and the classes behave as the
+theorems promise on actual chase runs.
+"""
+
+import pytest
+
+from repro.chase import chase, ChaseStatus, RoundRobinStrategy
+from repro.termination.report import analyze
+from repro.workloads.paper import (example2_gamma, example4, example8_beta,
+                                   example13, figure2, intro_alpha1,
+                                   intro_alpha2, theorem4_safe_not_stratified)
+
+
+def classify(sigma, max_k=3):
+    return analyze(sigma, max_k=max_k)
+
+
+class TestStrictInclusions:
+    def test_wa_strictly_inside_safe(self):
+        # WA example is safe ...
+        r = classify(intro_alpha1(), max_k=2)
+        assert r.weakly_acyclic and r.safe
+        # ... and Example 9 separates: safe \ WA is non-empty
+        r = classify(example8_beta(), max_k=2)
+        assert r.safe and not r.weakly_acyclic
+
+    def test_safe_strictly_inside_inductively_restricted(self):
+        r = classify(example13(), max_k=2)
+        assert r.inductively_restricted and not r.safe
+
+    def test_ir_strictly_inside_t3(self):
+        r = classify(figure2(), max_k=3)
+        assert not r.inductively_restricted
+        assert r.t_hierarchy_level == 3
+
+    def test_wa_strictly_inside_stratification(self):
+        r = classify(example2_gamma(), max_k=2)
+        assert r.stratified and not r.weakly_acyclic
+
+    def test_c_stratified_strictly_inside_stratified(self):
+        r = classify(example4(), max_k=2)
+        assert r.stratified and not r.c_stratified
+
+
+class TestIncomparabilities:
+    def test_safe_vs_c_stratified(self):
+        """Theorem 4c both directions."""
+        r = classify(theorem4_safe_not_stratified(), max_k=2)
+        assert r.safe and not r.stratified and not r.c_stratified
+        r = classify(example2_gamma(), max_k=2)
+        assert r.c_stratified and not r.safe
+
+    def test_stratified_vs_inductively_restricted(self):
+        """Proposition 2b/2c both directions."""
+        r = classify(example4(), max_k=2)
+        assert r.stratified and not r.inductively_restricted
+        r = classify(example13(), max_k=2)
+        assert r.inductively_restricted and not r.stratified
+
+
+class TestOperationalMeaning:
+    """The classes' termination promises hold on real chase runs."""
+
+    def test_outside_everything_diverges(self):
+        r = classify(intro_alpha2(), max_k=2)
+        assert not r.guarantees_some_sequence
+        from repro.lang.parser import parse_instance
+        result = chase(parse_instance("S(a)"), intro_alpha2(), max_steps=100)
+        assert result.status is ChaseStatus.EXCEEDED_BUDGET
+
+    def test_stratified_only_needs_theorem2_order(self):
+        from repro.workloads.paper import example4_instance
+        sigma = example4()
+        report = classify(sigma, max_k=2)
+        naive = chase(example4_instance(), sigma,
+                      strategy=RoundRobinStrategy(), max_steps=300)
+        assert naive.status is ChaseStatus.EXCEEDED_BUDGET
+        strategy = report.recommended_strategy()
+        assert strategy is not None
+        guided = chase(example4_instance(), sigma, strategy=strategy,
+                       max_steps=300)
+        assert guided.terminated
+
+    @pytest.mark.parametrize("factory", [
+        intro_alpha1, example8_beta, example13, figure2])
+    def test_all_sequence_classes_terminate(self, factory):
+        """Theorems 3/5/6/7: sets in WA/safe/IR/T[3] terminate under
+        the default strategy on their natural instances."""
+        from repro.workloads.generators import random_graph_instance
+        from repro.lang.atoms import Atom
+        from repro.lang.instance import Instance
+        sigma = factory()
+        relations = {a.relation for c in sigma
+                     for a in tuple(c.body) + tuple(getattr(c, "head", ()))}
+        for seed in range(2):
+            base = random_graph_instance(seed, 4, edge_probability=0.4)
+            facts = []
+            for fact in base:
+                if fact.relation == "E" and "R" in relations:
+                    facts.append(Atom("R", (fact.args[0], fact.args[1],
+                                            fact.args[0])))
+                if fact.relation in relations:
+                    facts.append(fact)
+            if not facts:
+                continue
+            result = chase(Instance(facts), sigma, max_steps=20_000)
+            assert result.terminated, factory.__name__

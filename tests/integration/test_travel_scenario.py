@@ -1,0 +1,65 @@
+"""Integration: the full Section 4 travel-agency narrative."""
+
+from repro.chase import chase
+from repro.cq.containment import equivalent
+from repro.cq.optimize import optimize, universal_plan
+from repro.datadep.irrelevance import terminates_statically
+from repro.datadep.monitored_chase import monitored_chase
+from repro.lang.errors import NonTerminationBudget
+from repro.lang.parser import parse_instance, parse_query
+from repro.termination.report import analyze
+from repro.workloads.paper import (figure9, query_q1, query_q2,
+                                   query_q2_double_prime)
+
+import pytest
+
+
+class TestNarrative:
+    def test_no_data_independent_guarantee(self):
+        """Step 1: Figure 9's constraints fall outside every class."""
+        report = analyze(figure9(), max_k=2)
+        assert not report.guarantees_some_sequence
+
+    def test_q1_hopeless_q2_fine(self):
+        """Step 2: the data-dependent analysis separates the queries."""
+        sigma = figure9()
+        frozen1, _ = query_q1().freeze()
+        frozen2, _ = query_q2().freeze()
+        assert terminates_statically(frozen1, sigma) is None
+        assert terminates_statically(frozen2, sigma) == 2
+
+    def test_q1_dynamic_guard_fires(self):
+        """Step 3: the monitor catches q1's divergence quickly."""
+        sigma = figure9()
+        frozen1, _ = query_q1().freeze()
+        result = monitored_chase(frozen1, sigma, 2, max_steps=10_000)
+        assert result.aborted
+        assert result.result.length < 25
+
+    def test_q2_full_pipeline_yields_cheaper_query(self):
+        """Step 4: chase q2, minimize, obtain the 3-atom rewriting that
+        drops the rail back-join."""
+        sigma = figure9()
+        result = optimize(query_q2(), sigma, cycle_limit=3)
+        assert len(result.universal_plan.body) == 6
+        best = result.minimal_rewritings()
+        assert best and len(best[0].body) == 3
+        assert any(equivalent(q, query_q2_double_prime()) for q in best)
+
+    def test_rewriting_answers_match_on_data(self):
+        """Sanity: q2 and its rewriting agree on a concrete database
+        satisfying the constraints."""
+        db = parse_instance("""
+            rail(c1, berlin, 100). rail(berlin, c1, 100).
+            fly(berlin, paris, 500). fly(paris, berlin, 500).
+            hasAirport(berlin). hasAirport(paris)
+        """)
+        sigma = figure9()
+        chased = chase(db, sigma, max_steps=2000)
+        assert chased.terminated
+        q2 = query_q2()
+        rewriting = query_q2_double_prime()
+        assert (q2.evaluate(chased.instance)
+                == rewriting.evaluate(chased.instance))
+        paris = {t[0] for t in q2.evaluate(chased.instance)}
+        assert {str(v) for v in paris} == {"paris"}

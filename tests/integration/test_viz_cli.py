@@ -1,0 +1,121 @@
+"""Rendering and CLI tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import viz
+from repro.chase import chase
+from repro.cli import main
+from repro.datadep.monitor import MonitorGraph
+from repro.termination.chase_graph import c_chase_graph, chase_graph
+from repro.termination.dependency_graph import dependency_graph
+from repro.termination.safety import propagation_graph
+from repro.workloads.paper import (example4, example8_beta,
+                                   example17_instance, example17_sigma,
+                                   figure9)
+
+
+class TestFigureRendering:
+    def test_figure3_dot(self):
+        dot = viz.render_figure3(figure9())
+        assert "digraph figure3" in dot
+        assert '"fly^2" -> "fly^2" [style=dashed, label="*"];' in dot
+
+    def test_figure4_vs_figure5(self):
+        """The c-chase graph DOT contains the (a2, a4) edge the chase
+        graph DOT lacks -- the visual heart of the refutation."""
+        fig4 = viz.render_figure4(example4())
+        fig5 = viz.render_figure5(example4())
+        assert '"a2" -> "a4"' not in fig4
+        assert '"a2" -> "a4"' in fig5
+
+    def test_figure6_both_panels(self):
+        dep, prop = viz.render_figure6(example8_beta())
+        assert "R^1" in dep
+        # the propagation panel has the single affected vertex, no edges
+        assert "->" not in prop.replace("rankdir=LR;", "")
+
+    def test_monitor_graph_dot(self):
+        result = chase(example17_instance(), example17_sigma())
+        graph = MonitorGraph.from_sequence(result.sequence)
+        dot = viz.monitor_graph_to_dot(graph)
+        assert dot.count("->") == 3
+
+    def test_ascii_adjacency_deterministic(self):
+        graph = chase_graph(example4())
+        text = viz.ascii_adjacency(graph,
+                                   render_node=lambda c: c.display_name())
+        assert text == viz.ascii_adjacency(
+            chase_graph(example4()),
+            render_node=lambda c: c.display_name())
+        assert "a1 ->" in text
+
+
+class TestCLI:
+    @pytest.fixture
+    def constraint_file(self, tmp_path: Path) -> str:
+        path = tmp_path / "sigma.tgd"
+        path.write_text("a1: S(x), E(x,y) -> E(y,x)\n"
+                        "a2: S(x), E(x,y) -> E(y,z), E(z,x)\n")
+        return str(path)
+
+    @pytest.fixture
+    def instance_file(self, tmp_path: Path) -> str:
+        path = tmp_path / "db.txt"
+        path.write_text("S(a). E(a,b)\n")
+        return str(path)
+
+    def test_analyze(self, constraint_file, capsys):
+        rc = main(["analyze", constraint_file, "--max-k", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "inductively_restricted  : True" in out
+
+    def test_analyze_divergent_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.tgd"
+        path.write_text("S(x) -> E(x,y), S(y)\n")
+        assert main(["analyze", str(path), "--max-k", "2"]) == 1
+
+    def test_chase(self, constraint_file, instance_file, capsys):
+        rc = main(["chase", constraint_file, "--instance", instance_file])
+        out = capsys.readouterr().out
+        assert rc == 0 and "status: terminated" in out
+
+    def test_chase_with_monitor(self, tmp_path, instance_file, capsys):
+        path = tmp_path / "bad.tgd"
+        path.write_text("S(x) -> E(x,y), S(y)\n")
+        rc = main(["chase", str(path), "--instance", instance_file,
+                   "--cycle-limit", "3"])
+        out = capsys.readouterr().out
+        assert rc == 1 and "aborted_by_monitor" in out
+
+    def test_graph_kinds(self, constraint_file, capsys):
+        for kind in ("dep", "prop", "chase", "cchase"):
+            rc = main(["graph", constraint_file, "--kind", kind])
+            assert rc == 0
+            assert "digraph" in capsys.readouterr().out
+
+    def test_optimize(self, tmp_path, capsys):
+        path = tmp_path / "fig9.tgd"
+        from repro.lang.parser import render_constraints
+        path.write_text(render_constraints(figure9()))
+        rc = main(["optimize", str(path), "--query",
+                   "rffr(x2) <- rail('c1', x1, y1), fly(x1, x2, y2), "
+                   "fly(x2, x1, y2), rail(x1, 'c1', y1)"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "universal plan" in out and "minimal rewriting" in out
+
+    def test_optimize_refuses_divergent_query(self, tmp_path, capsys):
+        path = tmp_path / "fig9.tgd"
+        from repro.lang.parser import render_constraints
+        path.write_text(render_constraints(figure9()))
+        rc = main(["optimize", str(path), "--query",
+                   "rf(x2) <- rail('c1', x1, y1), fly(x1, x2, y2)"])
+        assert rc == 1
+
+    def test_missing_file_is_reported(self, capsys):
+        rc = main(["analyze", "/nonexistent/sigma.tgd"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

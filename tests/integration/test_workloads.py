@@ -1,0 +1,118 @@
+"""Workload-package integrity tests."""
+
+import pytest
+
+from repro.lang.constraints import Constraint
+from repro.workloads.families import (bounded_null_cascade, chain_instance,
+                                      cycle_instance, full_tgd_chain,
+                                      prop11_family, sigma_family,
+                                      special_nodes_instance, star_instance)
+from repro.workloads.generators import (random_constraint_set,
+                                        random_full_tgds,
+                                        random_graph_instance,
+                                        random_instance, random_schema)
+from repro.workloads.paper import NAMED_SETS
+from repro.workloads.turing import (compile_machine, sample_halting_machine)
+
+
+class TestPaperCatalog:
+    def test_every_named_set_parses(self):
+        for name, (factory, description) in NAMED_SETS.items():
+            sigma = factory()
+            assert sigma, name
+            assert all(isinstance(c, Constraint) for c in sigma)
+            assert description
+
+    def test_factories_return_fresh_objects(self):
+        factory = NAMED_SETS["example4"][0]
+        assert factory() == factory()
+        assert factory() is not factory()
+
+    def test_labels_unique_within_sets(self):
+        for name, (factory, _d) in NAMED_SETS.items():
+            labels = [c.label for c in factory()]
+            assert len(labels) == len(set(labels)), name
+
+
+class TestFamilies:
+    def test_sigma_family_arities(self):
+        for m in (2, 3, 5):
+            (alpha,) = sigma_family(m)
+            assert alpha.body[1].arity == m
+            assert len(alpha.existential_variables()) == 1
+        with pytest.raises(ValueError):
+            sigma_family(1)
+
+    def test_sigma2_is_figure2(self):
+        from repro.workloads.paper import figure2
+        (alpha,) = sigma_family(2)
+        (fig2,) = figure2()
+        # same shape up to relation/variable names: both are binary
+        assert alpha.body[1].arity == 2
+        assert len(fig2.body) == len(alpha.body)
+
+    def test_prop11_family_shapes(self):
+        sigma, inst = prop11_family(4)
+        assert len(inst) == 5  # 4 S-facts + 1 R-fact
+        assert len(sigma) == 1
+        with pytest.raises(ValueError):
+            prop11_family(1)
+
+    def test_full_tgd_chain_is_weakly_acyclic(self):
+        from repro.termination import is_weakly_acyclic
+        assert is_weakly_acyclic(full_tgd_chain(5))
+
+    def test_bounded_cascade_is_safe(self):
+        from repro.termination import is_safe
+        assert is_safe(bounded_null_cascade(4))
+
+    def test_instances(self):
+        assert len(chain_instance(5)) == 5
+        assert len(cycle_instance(5)) == 5
+        assert len(star_instance(5)) == 5
+        inst = special_nodes_instance(6, spacing=2)
+        assert len(inst.facts("S")) == 4
+        assert len(inst.facts("E")) == 6
+
+
+class TestGenerators:
+    def test_deterministic_by_seed(self):
+        assert random_constraint_set(7, 4) == random_constraint_set(7, 4)
+        assert random_constraint_set(7, 4) != random_constraint_set(8, 4)
+
+    def test_sizes_respected(self):
+        assert len(random_constraint_set(1, 6)) == 6
+
+    def test_full_tgds_have_no_existentials(self):
+        for constraint in random_full_tgds(3, 5):
+            assert constraint.is_tgd and constraint.is_full
+
+    def test_tgds_well_formed(self):
+        for seed in range(5):
+            for constraint in random_constraint_set(seed, 5):
+                if constraint.is_tgd:
+                    frontier = constraint.frontier_variables()
+                    assert frontier <= constraint.body_variables()
+
+    def test_graph_instances_nonempty(self):
+        for seed in range(3):
+            inst = random_graph_instance(seed, 5)
+            assert len(inst) >= 1
+
+    def test_random_instance_respects_schema(self, rng):
+        schema = random_schema(rng, 3, 3)
+        inst = random_instance(0, schema, 10)
+        for fact in inst:
+            assert fact.arity == schema.arity(fact.relation)
+
+
+class TestTuringCompilation:
+    def test_compilation_deterministic(self):
+        machine = sample_halting_machine()
+        first = compile_machine(machine)["sigma"]
+        second = compile_machine(machine)["sigma"]
+        assert first == second
+
+    def test_interpreter_matches_transition_count(self):
+        machine = sample_halting_machine()
+        assert len(machine.run()) == len(machine.transitions)

@@ -1,0 +1,67 @@
+"""Weak / restricted guardedness (Section 5, Defs. 20 and 22)."""
+
+from hypothesis import given, settings
+
+from repro.kb.guardedness import (is_restrictedly_guarded, is_weakly_guarded,
+                                  restricted_guards, weak_guards)
+from repro.lang.parser import parse_constraints
+from repro.workloads.paper import example19
+
+from tests.conftest import graph_tgd_sets
+
+
+class TestWeakGuardedness:
+    def test_single_guarded_tgd(self):
+        sigma = parse_constraints("R(x,y), S(y) -> R(y,z)")
+        assert is_weakly_guarded(sigma)
+
+    def test_example19_not_weakly_guarded(self):
+        """aff(Sigma) covers all R/S positions and alpha2 has no atom
+        containing x1, x2, x3."""
+        assert not is_weakly_guarded(example19())
+
+    def test_guards_reported(self):
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        guards = weak_guards(sigma)
+        assert guards is not None
+        (tgd,) = sigma
+        assert guards[tgd] in tgd.body
+
+    def test_full_tgds_trivially_guarded(self):
+        sigma = parse_constraints("E(x,y) -> E(y,x); E(x,y), E(y,z) -> E(x,z)")
+        assert is_weakly_guarded(sigma)  # no affected positions at all
+
+
+class TestRestrictedGuardedness:
+    def test_example19_restrictedly_guarded(self):
+        """The separating example: RG but not WG (Lemma 7b)."""
+        sigma = example19()
+        assert is_restrictedly_guarded(sigma)
+        guards = restricted_guards(sigma)
+        assert guards is not None
+        alpha2 = next(c for c in sigma if c.label == "a2")
+        # the paper: S(x1, x2) serves as alpha2's restricted guard
+        assert guards[alpha2] in alpha2.body
+
+    def test_lemma7a_wg_implies_rg(self):
+        for text in ("R(x,y), S(y) -> R(y,z)",
+                     "S(x) -> E(x,y)",
+                     "E(x,y) -> E(y,x)"):
+            sigma = parse_constraints(text)
+            assert is_weakly_guarded(sigma)
+            assert is_restrictedly_guarded(sigma)
+
+    @given(graph_tgd_sets(max_size=2))
+    @settings(max_examples=10, deadline=None)
+    def test_lemma7a_property(self, sigma):
+        if is_weakly_guarded(sigma):
+            assert is_restrictedly_guarded(sigma)
+
+    def test_unguardable_set(self):
+        # both positions of both body atoms affected; no atom covers
+        # x1, x2, x3 together
+        sigma = parse_constraints("""
+            P(x) -> E(x,y), E(y,x);
+            E(x1,x2), E(x2,x3) -> E(x1,x3), P(x1)
+        """)
+        assert not is_weakly_guarded(sigma)

@@ -1,0 +1,85 @@
+"""Unit tests for atoms and positions."""
+
+import pytest
+
+from repro.lang.atoms import (Atom, atoms_positions, atoms_variables,
+                              occurrences, Position)
+from repro.lang.errors import SchemaError
+from repro.lang.terms import Constant, Null, Variable
+
+x, y = Variable("x"), Variable("y")
+a = Constant("a")
+
+
+class TestPosition:
+    def test_one_based(self):
+        with pytest.raises(SchemaError):
+            Position("E", 0)
+
+    def test_equality_and_order(self):
+        assert Position("E", 1) == Position("E", 1)
+        assert Position("E", 1) < Position("E", 2)
+        assert Position("E", 2) < Position("S", 1)
+
+    def test_str_matches_paper_notation(self):
+        assert str(Position("E", 2)) == "E^2"
+
+
+class TestAtom:
+    def test_args_must_be_terms(self):
+        with pytest.raises(SchemaError):
+            Atom("E", ("raw-string", x))
+
+    def test_groundness(self):
+        assert Atom("E", (a, Null(1))).is_ground
+        assert not Atom("E", (a, x)).is_ground
+
+    def test_variable_constant_null_extraction(self):
+        atom = Atom("T", (x, a, Null(2)))
+        assert atom.variables() == {x}
+        assert atom.constants() == {a}
+        assert atom.nulls() == {Null(2)}
+
+    def test_positions(self):
+        atom = Atom("E", (x, y))
+        assert atom.positions() == [Position("E", 1), Position("E", 2)]
+
+    def test_positions_of_repeated_term(self):
+        atom = Atom("T", (x, x, y))
+        assert atom.positions_of(x) == {Position("T", 1), Position("T", 2)}
+
+    def test_substitute(self):
+        atom = Atom("E", (x, y))
+        grounded = atom.substitute({x: a, y: Null(1)})
+        assert grounded == Atom("E", (a, Null(1)))
+        # identity on unmapped terms
+        assert atom.substitute({x: a}) == Atom("E", (a, y))
+
+    def test_substitute_is_pure(self):
+        atom = Atom("E", (x, y))
+        atom.substitute({x: a})
+        assert atom == Atom("E", (x, y))
+
+    def test_equality_and_hash(self):
+        assert Atom("E", (x, y)) == Atom("E", (x, y))
+        assert Atom("E", (x, y)) != Atom("E", (y, x))
+        assert len({Atom("E", (x, y)), Atom("E", (x, y))}) == 1
+
+    def test_str(self):
+        assert str(Atom("E", (x, a))) == "E(x, a)"
+
+
+class TestHelpers:
+    def test_atoms_variables(self):
+        atoms = [Atom("E", (x, y)), Atom("S", (x,))]
+        assert atoms_variables(atoms) == {x, y}
+
+    def test_atoms_positions(self):
+        atoms = [Atom("E", (x, y)), Atom("S", (x,))]
+        assert atoms_positions(atoms) == {Position("E", 1), Position("E", 2),
+                                          Position("S", 1)}
+
+    def test_occurrences_across_atoms(self):
+        atoms = [Atom("E", (x, y)), Atom("S", (x,))]
+        assert occurrences(atoms, x) == {Position("E", 1), Position("S", 1)}
+        assert occurrences(atoms, Variable("zzz")) == set()

@@ -1,0 +1,110 @@
+"""Unit tests for TGDs and EGDs."""
+
+import pytest
+
+from repro.lang.atoms import Atom, Position
+from repro.lang.constraints import (all_positions, constraint_set_positions,
+                                    constraint_set_schema, EGD, rename_apart,
+                                    TGD)
+from repro.lang.errors import SchemaError
+from repro.lang.parser import parse_constraint
+from repro.lang.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTGD:
+    def test_head_required(self):
+        with pytest.raises(SchemaError):
+            TGD([Atom("S", (x,))], [])
+
+    def test_empty_body_allowed(self):
+        tgd = TGD((), [Atom("S", (x,))])
+        assert tgd.existential_variables() == {x}
+
+    def test_existential_vs_frontier(self):
+        tgd = parse_constraint("S(x), E(x,y) -> E(y,z), E(z,x)")
+        assert tgd.existential_variables() == {z}
+        assert tgd.frontier_variables() == {x, y}
+        assert tgd.universal_variables() == {x, y}
+
+    def test_full_tgd(self):
+        assert parse_constraint("E(x,y) -> E(y,x)").is_full
+        assert not parse_constraint("E(x,y) -> E(y,z)").is_full
+
+    def test_positions_are_body_positions(self):
+        tgd = parse_constraint("S(x) -> E(x,y)")
+        assert tgd.positions() == {Position("S", 1)}
+        assert tgd.head_positions() == {Position("E", 1), Position("E", 2)}
+
+    def test_constants_collected(self):
+        tgd = parse_constraint("S(x) -> E(x, 'paris')")
+        assert tgd.constants() == {Constant("paris")}
+
+    def test_value_equality(self):
+        assert (parse_constraint("S(x) -> E(x,y)")
+                == parse_constraint("S(x) -> E(x,y)"))
+        assert (parse_constraint("S(x) -> E(x,y)")
+                != parse_constraint("S(x) -> E(y,x)"))
+
+    def test_label_not_part_of_identity(self):
+        assert (parse_constraint("a: S(x) -> E(x,y)")
+                == parse_constraint("b: S(x) -> E(x,y)"))
+
+
+class TestEGD:
+    def test_requires_body(self):
+        with pytest.raises(SchemaError):
+            EGD([], x, y)
+
+    def test_equality_vars_must_occur(self):
+        with pytest.raises(SchemaError):
+            EGD([Atom("E", (x, y))], x, z)
+
+    def test_parse_roundtrip(self):
+        egd = parse_constraint("E(x,y), E(x,z) -> y = z")
+        assert egd.is_egd
+        assert egd.lhs == y and egd.rhs == z
+
+    def test_positions(self):
+        egd = parse_constraint("E(x,y), S(x) -> x = y")
+        assert egd.positions() == {Position("E", 1), Position("E", 2),
+                                   Position("S", 1)}
+
+
+class TestSetHelpers:
+    def test_constraint_set_positions_bodies_only(self):
+        sigma = [parse_constraint("S(x) -> E(x,y)")]
+        assert constraint_set_positions(sigma) == {Position("S", 1)}
+
+    def test_all_positions_includes_heads(self):
+        sigma = [parse_constraint("S(x) -> E(x,y)")]
+        assert all_positions(sigma) == {Position("S", 1), Position("E", 1),
+                                        Position("E", 2)}
+
+    def test_schema_inference(self):
+        sigma = [parse_constraint("S(x) -> E(x,y)"),
+                 parse_constraint("E(x,y), E(x,z) -> y = z")]
+        schema = constraint_set_schema(sigma)
+        assert schema.arity("S") == 1 and schema.arity("E") == 2
+
+    def test_schema_conflict_detected(self):
+        sigma = [parse_constraint("S(x) -> S(x)"),
+                 parse_constraint("S(x,y) -> S(y,x)")]
+        with pytest.raises(SchemaError):
+            constraint_set_schema(sigma)
+
+
+class TestRenameApart:
+    def test_tgd_renaming_preserves_structure(self):
+        tgd = parse_constraint("S(x), E(x,y) -> E(y,z)")
+        renamed = rename_apart(tgd, "_1")
+        assert renamed != tgd
+        assert {v.name for v in renamed.universal_variables()} == {
+            "x_1", "y_1"}
+        assert {v.name for v in renamed.existential_variables()} == {"z_1"}
+
+    def test_egd_renaming(self):
+        egd = parse_constraint("E(x,y), E(x,z) -> y = z")
+        renamed = rename_apart(egd, "_a")
+        assert renamed.lhs.name == "y_a" and renamed.rhs.name == "z_a"

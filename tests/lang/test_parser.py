@@ -1,0 +1,106 @@
+"""Parser tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given
+
+from repro.lang.constraints import EGD, TGD
+from repro.lang.errors import ParseError
+from repro.lang.parser import (parse_atoms, parse_constraint,
+                               parse_constraints, parse_instance,
+                               parse_query, render_constraints)
+from repro.lang.terms import Constant, Null, Variable
+
+from tests.conftest import graph_tgd_sets
+
+
+class TestConstraintParsing:
+    def test_simple_tgd(self):
+        tgd = parse_constraint("S(x) -> E(x,y)")
+        assert isinstance(tgd, TGD)
+        assert len(tgd.body) == 1 and len(tgd.head) == 1
+
+    def test_label(self):
+        tgd = parse_constraint("a7: S(x) -> E(x,y)")
+        assert tgd.label == "a7"
+
+    def test_empty_body_variants(self):
+        for text in ("-> S(x), E(x,y)", "true -> S(x), E(x,y)"):
+            tgd = parse_constraint(text)
+            assert tgd.body == ()
+            assert len(tgd.head) == 2
+
+    def test_egd(self):
+        egd = parse_constraint("E(x,y), E(x,z) -> y = z")
+        assert isinstance(egd, EGD)
+
+    def test_constants(self):
+        tgd = parse_constraint("S('paris') -> E('paris', x)")
+        assert Constant("paris") in tgd.body[0].constants()
+
+    def test_numeric_constants(self):
+        tgd = parse_constraint("S(1) -> E(1, 2)")
+        assert tgd.body[0].args[0] == Constant(1)
+
+    def test_multiple_constraints(self):
+        sigma = parse_constraints("""
+            # a comment
+            a1: S(x) -> E(x,y);
+            a2: E(x,y) -> E(y,x)
+        """)
+        assert [c.label for c in sigma] == ["a1", "a2"]
+
+    def test_errors_carry_position(self):
+        with pytest.raises(ParseError):
+            parse_constraint("S(x -> E(x,y)")
+        with pytest.raises(ParseError):
+            parse_constraint("S(x)")
+
+    def test_true_as_relation_name_still_works(self):
+        tgd = parse_constraint("true(x) -> S(x)")
+        assert tgd.body[0].relation == "true"
+
+
+class TestInstanceParsing:
+    def test_identifiers_are_constants(self):
+        inst = parse_instance("E(a,b). S(a)")
+        assert Constant("a") in inst.domain()
+
+    def test_nulls(self):
+        inst = parse_instance("E(a, ?n3). S(?n3)")
+        assert Null(3) in inst.nulls()
+
+    def test_named_nulls_are_consistent(self):
+        inst = parse_instance("E(?foo, ?foo). E(?foo, ?bar)")
+        nulls = inst.nulls()
+        assert len(nulls) == 2
+
+    def test_separators(self):
+        assert len(parse_instance("E(a,b), E(b,c); E(c,d). E(d,e)")) == 4
+
+
+class TestQueryParsing:
+    def test_query(self):
+        q = parse_query("rf(x2) <- rail('c1', x1, y1), fly(x1, x2, y2)")
+        assert q.name == "rf"
+        assert len(q.body) == 2
+        assert q.head == (Variable("x2"),)
+
+    def test_boolean_query_requires_head_atom(self):
+        q = parse_query("q(x) <- S(x)")
+        assert not q.is_boolean
+
+
+class TestRendering:
+    def test_render_parses_back(self):
+        sigma = parse_constraints("""
+            a1: S(x) -> E(x, 'hub');
+            a2: E(x,y), E(x,z) -> y = z
+        """)
+        rendered = render_constraints(sigma)
+        reparsed = parse_constraints(rendered)
+        assert reparsed == sigma
+        assert [c.label for c in reparsed] == ["a1", "a2"]
+
+    @given(graph_tgd_sets(max_size=3))
+    def test_roundtrip_random_tgds(self, sigma):
+        assert parse_constraints(render_constraints(sigma)) == sigma

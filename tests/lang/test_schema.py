@@ -1,0 +1,56 @@
+"""Unit tests for schemas."""
+
+import pytest
+
+from repro.lang.atoms import Atom, Position
+from repro.lang.errors import SchemaError
+from repro.lang.schema import Schema
+from repro.lang.terms import Constant
+
+
+class TestSchema:
+    def test_arity_lookup(self):
+        schema = Schema({"E": 2, "S": 1})
+        assert schema.arity("E") == 2
+        with pytest.raises(SchemaError):
+            schema.arity("T")
+
+    def test_arity_conflict(self):
+        schema = Schema({"E": 2})
+        with pytest.raises(SchemaError):
+            schema.add_relation("E", 3)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"P": 0})
+
+    def test_positions_sorted(self):
+        schema = Schema({"E": 2, "S": 1})
+        assert schema.positions() == [Position("E", 1), Position("E", 2),
+                                      Position("S", 1)]
+
+    def test_validate_atom(self):
+        schema = Schema({"E": 2})
+        schema.validate_atom(Atom("E", (Constant("a"), Constant("b"))))
+        with pytest.raises(SchemaError):
+            schema.validate_atom(Atom("E", (Constant("a"),)))
+        with pytest.raises(SchemaError):
+            schema.validate_atom(Atom("X", (Constant("a"),)))
+
+    def test_infer(self):
+        schema = Schema.infer([Atom("E", (Constant("a"), Constant("b"))),
+                               Atom("S", (Constant("a"),))])
+        assert schema.relations() == {"E": 2, "S": 1}
+
+    def test_merged(self):
+        merged = Schema({"E": 2}).merged(Schema({"S": 1}))
+        assert "E" in merged and "S" in merged
+        with pytest.raises(SchemaError):
+            Schema({"E": 2}).merged(Schema({"E": 1}))
+
+    def test_max_arity(self):
+        assert Schema({"E": 2, "T": 4}).max_arity() == 4
+        assert Schema().max_arity() == 0
+
+    def test_iteration_sorted(self):
+        assert list(Schema({"Z": 1, "A": 2})) == ["A", "Z"]

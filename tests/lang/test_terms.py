@@ -1,0 +1,77 @@
+"""Unit tests for terms: identity, immutability, null factories."""
+
+import pytest
+
+from repro.lang.terms import (Constant, Null, NullFactory, Variable,
+                              fresh_null)
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Constant("a").value = "b"
+
+    def test_kind_flags(self):
+        c = Constant("a")
+        assert c.is_constant and not c.is_null and not c.is_variable
+
+    def test_str(self):
+        assert str(Constant("paris")) == "paris"
+
+
+class TestNull:
+    def test_equality_by_label(self):
+        assert Null(3) == Null(3)
+        assert Null(3) != Null(4)
+
+    def test_disjoint_from_constants(self):
+        assert Null(1) != Constant(1)
+
+    def test_kind_flags(self):
+        n = Null(1)
+        assert n.is_null and not n.is_constant and not n.is_variable
+
+    def test_str(self):
+        assert str(Null(7)) == "?n7"
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_kind_flags(self):
+        v = Variable("x")
+        assert v.is_variable and not v.is_constant and not v.is_null
+
+
+class TestNullFactory:
+    def test_fresh_nulls_distinct(self):
+        factory = NullFactory()
+        nulls = [factory.fresh() for _ in range(100)]
+        assert len(set(nulls)) == 100
+
+    def test_reset(self):
+        factory = NullFactory()
+        first = factory.fresh()
+        factory.reset()
+        assert factory.fresh() == first
+
+    def test_independent_factories(self):
+        f1, f2 = NullFactory(), NullFactory()
+        assert f1.fresh() == f2.fresh()  # same labels, same nulls
+
+    def test_module_level_fresh(self):
+        assert fresh_null() != fresh_null()
+
+    def test_start_offset(self):
+        factory = NullFactory(start=50)
+        assert factory.fresh() == Null(50)

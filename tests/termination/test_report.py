@@ -1,0 +1,54 @@
+"""The analyze() front-end and Figure 1's separations."""
+
+from repro.chase import chase
+from repro.termination.report import analyze, CONDITIONS
+from repro.workloads.paper import (example2_gamma, example4, example8_beta,
+                                   example13, figure2, intro_alpha1,
+                                   intro_alpha2)
+
+
+class TestAnalyze:
+    def test_weakly_acyclic_set(self):
+        report = analyze(intro_alpha1(), max_k=2)
+        assert report.weakly_acyclic and report.safe
+        assert report.stratified and report.c_stratified
+        assert report.inductively_restricted
+        assert report.guarantees_all_sequences
+
+    def test_divergent_set(self):
+        report = analyze(intro_alpha2(), max_k=2)
+        assert not any(getattr(report, name) for name in CONDITIONS)
+        assert report.t_hierarchy_level is None
+        assert not report.guarantees_some_sequence
+
+    def test_example4_only_stratified(self):
+        report = analyze(example4(), max_k=2)
+        assert report.stratified
+        assert not report.c_stratified
+        assert not report.inductively_restricted
+        assert not report.guarantees_all_sequences
+        assert report.guarantees_some_sequence
+        assert report.recommended_strategy() is not None
+
+    def test_safe_not_stratified(self):
+        report = analyze(example8_beta(), max_k=2)
+        assert report.safe and not report.weakly_acyclic
+        assert report.recommended_strategy() is None
+
+    def test_figure2_needs_t3(self):
+        report = analyze(figure2(), max_k=3)
+        assert not any(getattr(report, name) for name in CONDITIONS)
+        assert report.t_hierarchy_level == 3
+        assert report.guarantees_all_sequences
+
+    def test_render_is_complete(self):
+        text = analyze(example13(), max_k=2).render()
+        for name in CONDITIONS:
+            assert name in text
+        assert "t_hierarchy" in text
+
+    def test_as_row(self):
+        row = analyze(example13(), max_k=2).as_row()
+        assert row["inductively_restricted"] is True
+        assert row["safe"] is False
+        assert row["t_level"] == 2

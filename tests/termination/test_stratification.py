@@ -1,0 +1,139 @@
+"""Stratification and c-stratification tests (Sections 3.2, 3.3)."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.chase import chase, ChaseStatus, RoundRobinStrategy
+from repro.lang.parser import parse_constraints
+from repro.termination.chase_graph import (c_chase_graph, chase_graph,
+                                           nontrivial_sccs,
+                                           topological_strata)
+from repro.termination.cstratification import (is_c_stratified,
+                                               non_weakly_acyclic_c_cycle)
+from repro.termination.stratification import (chase_strata, is_stratified,
+                                              non_weakly_acyclic_cycle,
+                                              stratified_strategy)
+from repro.termination.weak_acyclicity import is_weakly_acyclic
+from repro.workloads.paper import (example2_gamma, example4,
+                                   example4_instance, example10, figure9,
+                                   theorem4_safe_not_stratified)
+
+from tests.conftest import graph_instances, graph_tgd_sets
+
+
+class TestChaseGraph:
+    def test_example4_figure4(self):
+        sigma = example4()
+        graph = chase_graph(sigma)
+        labels = {(a.label, b.label) for a, b in graph.edges()}
+        # the full-TGD cycle a1 -> a3 -> a4 -> a1 exists
+        assert {("a1", "a3"), ("a3", "a4"), ("a4", "a1")} <= labels
+        # a2 has no outgoing edge under the standard relation
+        assert not any(a == "a2" for a, _ in labels)
+
+    def test_example7_figure5(self):
+        sigma = example4()
+        graph = c_chase_graph(sigma)
+        labels = {(a.label, b.label) for a, b in graph.edges()}
+        assert ("a2", "a4") in labels  # the corrected edge
+
+    def test_nontrivial_sccs(self):
+        sigma = example4()
+        components = nontrivial_sccs(chase_graph(sigma))
+        assert len(components) == 1
+        assert {c.label for c in components[0]} == {"a1", "a3", "a4"}
+
+    def test_self_loop_is_nontrivial(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        assert len(nontrivial_sccs(chase_graph(sigma))) == 1
+
+    def test_topological_strata_cover(self):
+        sigma = example4()
+        strata = topological_strata(chase_graph(sigma))
+        assert sorted(c.label for s in strata for c in s) == [
+            "a1", "a2", "a3", "a4"]
+
+
+class TestStratification:
+    def test_example3_gamma_stratified_not_wa(self):
+        sigma = example2_gamma()
+        assert is_stratified(sigma)
+        assert not is_weakly_acyclic(sigma)
+
+    def test_example4_stratified(self):
+        assert is_stratified(example4())
+        assert non_weakly_acyclic_cycle(example4()) is None
+
+    def test_wa_implies_stratified(self):
+        sigma = parse_constraints("S(x) -> E(x,y); E(x,y) -> T(y)")
+        assert is_weakly_acyclic(sigma) and is_stratified(sigma)
+
+    @given(graph_tgd_sets(max_size=2))
+    @settings(max_examples=15, deadline=None)
+    def test_wa_implies_stratified_property(self, sigma):
+        if is_weakly_acyclic(sigma):
+            assert is_stratified(sigma)
+
+    def test_figure9_not_stratified(self):
+        """alpha3 (fly -> exists fly) loops on itself non-WA."""
+        assert not is_stratified(figure9())
+
+    def test_example10_not_stratified(self):
+        assert not is_stratified(example10())
+
+    def test_theorem4c_pair_not_stratified(self):
+        assert not is_stratified(theorem4_safe_not_stratified())
+
+    def test_witness_cycle_reported(self):
+        cycle = non_weakly_acyclic_cycle(figure9())
+        assert cycle is not None
+        assert not is_weakly_acyclic(cycle)
+
+
+class TestCStratification:
+    def test_example4_refutation(self):
+        """The paper's headline: stratified but not c-stratified, with
+        a genuinely divergent sequence (Example 4)."""
+        sigma = example4()
+        assert is_stratified(sigma)
+        assert not is_c_stratified(sigma)
+        cycle = non_weakly_acyclic_c_cycle(sigma)
+        assert cycle is not None and "a2" in {c.label for c in cycle}
+        diverged = chase(example4_instance(), sigma,
+                         strategy=RoundRobinStrategy(), max_steps=300)
+        assert diverged.status is ChaseStatus.EXCEEDED_BUDGET
+
+    def test_example6_gamma_c_stratified(self):
+        assert is_c_stratified(example2_gamma())
+
+    def test_wa_implies_c_stratified(self):
+        sigma = parse_constraints("S(x) -> E(x,y); E(x,y) -> T(y)")
+        assert is_c_stratified(sigma)
+
+    def test_theorem3_c_stratified_chase_terminates(self):
+        """Theorem 3 end-to-end: every strategy terminates for a
+        c-stratified set."""
+        sigma = example2_gamma()
+        assert is_c_stratified(sigma)
+        from repro.workloads.generators import random_graph_instance
+        for seed in range(3):
+            inst = random_graph_instance(seed, 4, edge_probability=0.4)
+            result = chase(inst, sigma, max_steps=20_000)
+            assert result.terminated
+
+    @given(graph_tgd_sets(max_size=2), graph_instances())
+    @settings(max_examples=10, deadline=None)
+    def test_theorem3_property(self, sigma, inst):
+        """On random small sets: c-stratified => chase terminates."""
+        if is_c_stratified(sigma):
+            result = chase(inst, sigma, max_steps=20_000)
+            assert result.status is not ChaseStatus.EXCEEDED_BUDGET
+
+
+class TestTheorem2Construction:
+    def test_strata_order_terminates_where_round_robin_diverges(self):
+        sigma = example4()
+        strategy = stratified_strategy(sigma, verify=True)
+        result = chase(example4_instance(), sigma, strategy=strategy,
+                       max_steps=500)
+        assert result.terminated

@@ -1,0 +1,105 @@
+"""Weak acyclicity and dependency graph tests (Definition 1, Ex. 1)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.atoms import Position
+from repro.lang.parser import parse_constraints
+from repro.termination.dependency_graph import (dependency_graph,
+                                                has_special_cycle,
+                                                position_ranks, SPECIAL)
+from repro.termination.weak_acyclicity import (is_weakly_acyclic,
+                                               weak_acyclicity_witness)
+from repro.workloads.paper import figure9
+
+from tests.conftest import graph_tgd_sets
+
+
+class TestDependencyGraph:
+    def test_example1_figure3(self):
+        """The flight schema's dependency graph (Figure 3): the
+        fly^2 ->* fly^2 special self-loop witnesses non-WA."""
+        graph = dependency_graph(figure9())
+        fly2 = Position("fly", 2)
+        assert graph.has_edge(fly2, fly2)
+        assert graph.edges[fly2, fly2][SPECIAL]
+        # alpha1 copies fly^1 -> hasAirport^1 and fly^2 -> hasAirport^1
+        ha1 = Position("hasAirport", 1)
+        assert graph.has_edge(Position("fly", 1), ha1)
+        assert graph.has_edge(fly2, ha1)
+        # alpha2 swaps rail positions (normal edges)
+        assert graph.has_edge(Position("rail", 1), Position("rail", 2))
+        assert not graph.edges[Position("rail", 1),
+                               Position("rail", 2)][SPECIAL]
+
+    def test_special_edge_targets_all_existential_positions(self):
+        sigma = parse_constraints("S(x) -> E(x,y), T(y)")
+        graph = dependency_graph(sigma)
+        s1 = Position("S", 1)
+        assert graph.edges[s1, Position("E", 2)][SPECIAL]
+        assert graph.edges[s1, Position("T", 1)][SPECIAL]
+        assert not graph.edges[s1, Position("E", 1)][SPECIAL]
+
+    def test_egds_contribute_nothing(self):
+        sigma = parse_constraints("E(x,y), E(x,z) -> y = z")
+        assert dependency_graph(sigma).number_of_edges() == 0
+
+    def test_parallel_normal_and_special_edges_flagged(self):
+        # from E^1: x is copied to E^2 (via E(y,x)) AND the existential
+        # z lands at E^2 (via E(x,z)) -> one edge carrying both kinds
+        sigma = parse_constraints("E(x,y) -> E(y,x), E(x,z)")
+        graph = dependency_graph(sigma)
+        e1, e2 = Position("E", 1), Position("E", 2)
+        assert graph.edges[e1, e2][SPECIAL]
+        assert graph.edges[e1, e2]["normal_too"]
+
+
+class TestWeakAcyclicity:
+    def test_terminating_intro_constraint_is_wa(self):
+        assert is_weakly_acyclic(parse_constraints("S(x) -> E(x,y)"))
+
+    def test_divergent_intro_constraint_is_not(self):
+        assert not is_weakly_acyclic(parse_constraints("S(x) -> E(x,y), S(y)"))
+
+    def test_full_tgds_always_wa(self):
+        sigma = parse_constraints("E(x,y) -> E(y,x); E(x,y), E(y,z) -> E(x,z)")
+        assert is_weakly_acyclic(sigma)
+
+    def test_witness_reported(self):
+        witness = weak_acyclicity_witness(figure9())
+        assert witness == (Position("fly", 2), Position("fly", 2))
+        assert weak_acyclicity_witness(
+            parse_constraints("S(x) -> E(x,y)")) is None
+
+    def test_subset_closure(self):
+        """Subsets of weakly acyclic sets are weakly acyclic."""
+        sigma = parse_constraints("""
+            S(x) -> E(x,y);
+            E(x,y) -> T(y);
+            T(x) -> U(x,z)
+        """)
+        assert is_weakly_acyclic(sigma)
+        for i in range(len(sigma)):
+            assert is_weakly_acyclic(sigma[:i] + sigma[i + 1:])
+
+    @given(graph_tgd_sets(max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_subset_closure_property(self, sigma):
+        if is_weakly_acyclic(sigma):
+            for i in range(len(sigma)):
+                assert is_weakly_acyclic(sigma[:i] + sigma[i + 1:])
+
+
+class TestRanks:
+    def test_ranks_finite_for_wa(self):
+        sigma = parse_constraints("S(x) -> E(x,y); E(x,y) -> T(y,z)")
+        ranks = position_ranks(dependency_graph(sigma))
+        assert ranks[Position("S", 1)] == 0
+        assert ranks[Position("E", 2)] == 1
+        assert ranks[Position("T", 2)] == 2
+
+    def test_ranks_raise_on_special_cycle(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        with pytest.raises(ValueError):
+            position_ranks(dependency_graph(sigma))
