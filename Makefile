@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+bench-smoke:
+	REPRO_BENCH_SIZES=4,8 $(PYTHON) -m pytest benchmarks/bench_chase_scaling.py -q --benchmark-disable
+
+docs-check:
+	@test -f README.md || { echo "README.md missing"; exit 1; }
+	@test -f docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md missing"; exit 1; }
+	$(PYTHON) examples/quickstart.py > /dev/null
+	@echo "docs ok"

@@ -10,11 +10,12 @@ from repro.chase.step import (apply_egd_step, apply_step, apply_tgd_step,
 from repro.chase.strategies import (OrderedStrategy, RandomStrategy,
                                     RoundRobinStrategy, StratifiedStrategy,
                                     Strategy)
+from repro.chase.triggers import TriggerIndex
 
 __all__ = [
     "core", "core_chase", "is_core", "ChaseResult", "ChaseStatus", "AbortChase", "chase",
     "chase_with_budget_probe", "DEFAULT_MAX_STEPS", "oblivious_chase",
     "apply_egd_step", "apply_step", "apply_tgd_step", "ChaseStep",
     "OrderedStrategy", "RandomStrategy", "RoundRobinStrategy",
-    "StratifiedStrategy", "Strategy",
+    "StratifiedStrategy", "Strategy", "TriggerIndex",
 ]

@@ -49,6 +49,7 @@ class ChaseResult:
 
     @property
     def terminated(self) -> bool:
+        """Did the run reach a fixpoint ``I^Sigma |= Sigma`` (Section 2)?"""
         return self.status is ChaseStatus.TERMINATED
 
     @property
@@ -57,9 +58,12 @@ class ChaseResult:
         return len(self.sequence)
 
     def new_null_count(self) -> int:
+        """Total labeled nulls created across the sequence (the
+        quantity the Section 4.2 monitor watches for cyclic growth)."""
         return sum(len(step.new_nulls) for step in self.sequence)
 
     def describe(self) -> str:
+        """A human-readable transcript of the run, one step per line."""
         lines = [f"status: {self.status.value}, steps: {self.length}"]
         for step in self.sequence:
             added = ", ".join(str(f) for f in step.new_facts) or "(nothing)"

@@ -9,6 +9,12 @@ the paper and :mod:`repro.datadep.monitored_chase`).
 ``oblivious_chase`` fires every (constraint, body-homomorphism) pair
 exactly once regardless of satisfaction -- the variant underlying the
 corrected stratification condition of Section 3.3.
+
+Both runners discover triggers incrementally through a
+:class:`repro.chase.triggers.TriggerIndex` (semi-naive evaluation:
+seed once, then only delta-restricted searches per step).  Pass
+``naive=True`` to restore full re-enumeration on every step -- the
+reference path used by the cross-validation tests.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.chase.result import ChaseResult, ChaseStatus
 from repro.chase.step import ChaseStep, apply_step
 from repro.chase.strategies import RoundRobinStrategy, Strategy
+from repro.chase.triggers import TriggerIndex
 from repro.homomorphism.engine import find_homomorphisms
 from repro.homomorphism.extend import trigger_key
 from repro.lang.constraints import Constraint
@@ -44,49 +51,121 @@ def chase(instance: Instance, sigma: Iterable[Constraint],
           max_steps: int = DEFAULT_MAX_STEPS,
           copy: bool = True,
           nulls: NullFactory = NULLS,
-          observers: Sequence[Observer] = ()) -> ChaseResult:
-    """Run the standard chase of ``instance`` with ``sigma``.
+          observers: Sequence[Observer] = (),
+          naive: bool = False) -> ChaseResult:
+    """Run the standard chase of ``instance`` with ``sigma`` (Section 2).
 
     The input instance is left untouched unless ``copy=False``.
+    ``naive=True`` disables the incremental trigger index and
+    re-enumerates all body homomorphisms on every selection (the
+    pre-index reference behaviour, kept for cross-validation).
     """
     sigma = list(sigma)
     working = instance.copy() if copy else instance
     if strategy is None:
         strategy = RoundRobinStrategy()
-    strategy.start(sigma, working)
-    sequence: list[ChaseStep] = []
-    for index in range(max_steps):
-        selection = strategy.select(working)
-        if selection is None:
-            return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
-        constraint, assignment = selection
-        try:
-            step = apply_step(working, constraint, assignment,
-                              index=index, nulls=nulls)
-        except ChaseFailure as failure:
-            return ChaseResult(ChaseStatus.FAILED, working, sequence,
-                               failure_reason=str(failure))
-        sequence.append(step)
-        try:
-            for observer in observers:
-                observer(step, working)
-        except AbortChase as abort:
-            return ChaseResult(ChaseStatus.ABORTED_BY_MONITOR, working,
-                               sequence, failure_reason=abort.reason)
-    return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working, sequence)
+    # start() keeps its historical two-argument shape, and the attach
+    # hook is optional, so pre-index strategy objects (duck-typed or
+    # subclassed) still work -- they just enumerate naively, and no
+    # index is built (or fed deltas) for them at all.
+    attach = getattr(strategy, "attach_triggers", None)
+    triggers = (None if naive or attach is None
+                else TriggerIndex(sigma, working))
+    try:
+        strategy.start(sigma, working)
+        if attach is not None:
+            attach(triggers)
+        sequence: list[ChaseStep] = []
+        for index in range(max_steps):
+            selection = strategy.select(working)
+            if selection is None:
+                return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+            constraint, assignment = selection
+            try:
+                step = apply_step(working, constraint, assignment,
+                                  index=index, nulls=nulls)
+            except ChaseFailure as failure:
+                return ChaseResult(ChaseStatus.FAILED, working, sequence,
+                                   failure_reason=str(failure))
+            if triggers is not None:
+                triggers.mark_fired(constraint, assignment)
+            sequence.append(step)
+            try:
+                for observer in observers:
+                    observer(step, working)
+            except AbortChase as abort:
+                return ChaseResult(ChaseStatus.ABORTED_BY_MONITOR, working,
+                                   sequence, failure_reason=abort.reason)
+        return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working, sequence)
+    finally:
+        if triggers is not None:
+            triggers.detach()
+        if attach is not None:
+            # Release the run-local index so a reused strategy falls
+            # back to naive enumeration instead of consulting a dead
+            # index bound to this run's working instance.
+            attach(None)
 
 
 def oblivious_chase(instance: Instance, sigma: Iterable[Constraint],
                     max_steps: int = DEFAULT_MAX_STEPS,
                     copy: bool = True,
                     nulls: NullFactory = NULLS,
-                    observers: Sequence[Observer] = ()) -> ChaseResult:
-    """Run the oblivious chase: every trigger fires exactly once.
+                    observers: Sequence[Observer] = (),
+                    naive: bool = False) -> ChaseResult:
+    """Run the oblivious chase: every trigger fires exactly once
+    (Section 3.3's chase variant).
 
     Triggers are identified by (constraint, body image); new facts
     create new triggers, so the run terminates only when no unfired
-    trigger remains or the budget runs out.
+    trigger remains or the budget runs out.  The incremental path
+    consumes the trigger queue directly -- the naive restart-
+    enumeration loop (``naive=True``) re-scans all homomorphisms after
+    every step.
     """
+    if naive:
+        return _oblivious_chase_naive(instance, sigma, max_steps, copy,
+                                      nulls, observers)
+    sigma = list(sigma)
+    working = instance.copy() if copy else instance
+    triggers = TriggerIndex(sigma, working, oblivious=True)
+    try:
+        sequence: list[ChaseStep] = []
+        index = 0
+        while True:
+            selection = triggers.pop_unfired()
+            if selection is None:
+                return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+            constraint, assignment = selection
+            if index >= max_steps:
+                return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working,
+                                   sequence)
+            triggers.mark_fired(constraint, assignment)
+            try:
+                step = apply_step(working, constraint, assignment,
+                                  index=index, oblivious=True, nulls=nulls)
+            except ChaseFailure as failure:
+                return ChaseResult(ChaseStatus.FAILED, working, sequence,
+                                   failure_reason=str(failure))
+            index += 1
+            sequence.append(step)
+            try:
+                for observer in observers:
+                    observer(step, working)
+            except AbortChase as abort:
+                return ChaseResult(ChaseStatus.ABORTED_BY_MONITOR,
+                                   working, sequence,
+                                   failure_reason=abort.reason)
+    finally:
+        triggers.detach()
+
+
+def _oblivious_chase_naive(instance: Instance, sigma: Iterable[Constraint],
+                           max_steps: int = DEFAULT_MAX_STEPS,
+                           copy: bool = True,
+                           nulls: NullFactory = NULLS,
+                           observers: Sequence[Observer] = ()) -> ChaseResult:
+    """Reference oblivious chase: restart full enumeration per step."""
     sigma = list(sigma)
     working = instance.copy() if copy else instance
     fired: set[tuple] = set()
@@ -142,7 +221,7 @@ def chase_with_budget_probe(instance: Instance, sigma: Iterable[Constraint],
                             ) -> tuple[ChaseResult, int]:
     """Run the chase with increasing budgets; return the first result
     that is not ``EXCEEDED_BUDGET`` (or the last one), plus the budget
-    used.  Convenient for divergence experiments."""
+    used.  Convenient for divergence experiments (Example 4)."""
     result: ChaseResult | None = None
     used = 0
     for budget in budgets:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
 from repro.homomorphism.engine import Assignment, apply_assignment
+from repro.homomorphism.extend import freeze_assignment as _freeze_assignment
 from repro.lang.atoms import Atom
 from repro.lang.constraints import Constraint, EGD, TGD
 from repro.lang.errors import ChaseFailure
@@ -39,21 +40,16 @@ class ChaseStep:
     oblivious: bool = False
 
     def assignment_dict(self) -> dict[Variable, GroundTerm]:
+        """The body assignment ``mu`` as a variable -> term mapping."""
         return {Variable(name): value for name, value in self.assignment}
 
     def describe(self) -> str:
+        """The paper's arrow notation ``--(alpha, mu(x))-->`` (Section 2)."""
         params = ", ".join(f"{name}={value}"
                            for name, value in self.assignment)
         marker = "*," if self.oblivious else ""
         name = self.constraint.display_name()
         return f"--({marker}{name}, {params})-->"
-
-
-def _freeze_assignment(assignment: Mapping[Variable, GroundTerm]
-                       ) -> Tuple[Tuple[str, GroundTerm], ...]:
-    return tuple(sorted(((var.name, value)
-                         for var, value in assignment.items()),
-                        key=lambda kv: kv[0]))
 
 
 def apply_tgd_step(instance: Instance, tgd: TGD, assignment: Assignment,

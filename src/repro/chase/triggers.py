@@ -1,0 +1,378 @@
+"""Incremental trigger discovery: the semi-naive chase index.
+
+The naive runners re-enumerate every body homomorphism of every
+constraint on each ``select()`` call -- quadratic in the chase length.
+:class:`TriggerIndex` replaces that with the semi-naive discipline of
+datalog evaluation, kept *lazy* at homomorphism granularity:
+
+* **Seed.** Every fact of the input instance is queued as a delta
+  (the seed is just the first batch of deltas).
+* **Delta.** The index registers as an
+  :class:`repro.lang.instance.InstanceListener` on the working
+  instance.  Every added fact is routed to a per-constraint *backlog*;
+  every removed fact (EGD substitutions) retires the pending triggers
+  whose body image used it.
+* **Expand.** Backlog facts are expanded only when a selection needs
+  more active triggers than are materialized: the delta-restricted
+  search (:func:`repro.homomorphism.engine.find_homomorphisms_through`)
+  enumerates exactly the homomorphisms using the fact, and the
+  enumeration is *suspended* as soon as enough active triggers have
+  been found.  On divergent runs an active trigger is almost always at
+  hand, so almost nothing is expanded -- matching the naive path's
+  first-violation short-circuit -- while terminating runs drain every
+  backlog at the final satisfaction check (a selection answers "no
+  trigger" only with an empty backlog), which keeps the index complete.
+* **Select.** Strategies ask for the next *active* trigger
+  (Section 2: the body maps but the head does not extend / the EGD
+  equates distinct terms).  Satisfied homomorphisms are remembered but
+  never enqueued, and pending triggers found satisfied later are
+  dropped **permanently**: new facts can only help a TGD head extend,
+  and an EGD substitution that could disturb a satisfied trigger
+  necessarily rewrites its body image, which retires the trigger
+  through the delta feed first.
+
+Trigger identity is the frozen body assignment (the paper's
+``(alpha, mu(x))`` naming of chase steps, Section 2).  Keys once seen
+are never re-enqueued, and a suspended enumeration stays sound across
+instance mutations, for the same underlying reason: facts are only
+ever removed by EGD substitutions eliminating a labeled null, null
+labels are globally fresh (:class:`repro.lang.terms.NullFactory`), so
+a removed fact -- and hence a retired assignment -- can never come
+back.  Homomorphisms that appear *after* a suspension use a newly
+added fact and are found through that fact's own backlog entry;
+homomorphisms yielded from stale enumeration state are filtered by
+re-validating their body image against the live instance.
+
+The oblivious mode (Section 3.3's chase variant) keeps every pending
+body homomorphism eligible regardless of head satisfaction and relies
+on :meth:`TriggerIndex.mark_fired` to consume each exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import (Deque, Dict, Iterable, Iterator, List, Optional, Set,
+                    Tuple)
+
+from repro.homomorphism.engine import (Assignment, apply_assignment,
+                                       find_homomorphisms_through)
+from repro.homomorphism.extend import freeze_assignment, head_extends
+from repro.lang.atoms import Atom
+from repro.lang.constraints import Constraint, EGD, TGD
+from repro.lang.instance import Instance
+from repro.lang.terms import GroundTerm
+
+#: Hashable identity of a trigger within one constraint: the frozen
+#: body assignment ``mu`` (sorted variable-name/value pairs), shared
+#: with the naive runners' ``trigger_key`` via
+#: :func:`repro.homomorphism.extend.freeze_assignment`.
+TriggerKey = Tuple[Tuple[str, GroundTerm], ...]
+
+
+class TriggerIndex:
+    """Maintains the pending-trigger set of a chase run incrementally.
+
+    Attach to the *working* instance of a run; the index registers
+    itself as a change listener and must be :meth:`detach`-ed when the
+    run ends (the runners do this in a ``finally`` block).
+
+    ``oblivious=True`` switches the activity condition to the
+    oblivious chase's: any unfired body homomorphism is a trigger,
+    except EGD triggers that equate a term with itself.
+    """
+
+    def __init__(self, sigma: Iterable[Constraint], instance: Instance,
+                 oblivious: bool = False) -> None:
+        self._sigma: List[Constraint] = list(sigma)
+        self._instance = instance
+        self._oblivious = oblivious
+        #: materialized triggers that were active when discovered
+        self._pending: Dict[Constraint, "OrderedDict[TriggerKey, Assignment]"] = {
+            constraint: OrderedDict() for constraint in self._sigma}
+        #: every assignment ever discovered (pending, fired, settled)
+        self._seen: Dict[Constraint, Set[TriggerKey]] = {
+            constraint: set() for constraint in self._sigma}
+        self._by_fact: Dict[Atom, Set[Tuple[Constraint, TriggerKey]]] = {}
+        self._body_relations: Dict[Constraint, Set[str]] = {
+            constraint: {atom.relation for atom in constraint.body}
+            for constraint in self._sigma}
+        #: added facts not yet expanded, per constraint
+        self._backlog: Dict[Constraint, Deque[Atom]] = {
+            constraint: deque() for constraint in self._sigma}
+        #: suspended delta enumeration for the backlog fact being expanded
+        self._expanding: Dict[Constraint, Optional[Iterator[Assignment]]] = {
+            constraint: None for constraint in self._sigma}
+        #: frontier bindings whose TGD head is known to extend; sound to
+        #: cache because satisfaction is permanent (module docstring)
+        self._satisfied_frontiers: Dict[Constraint, Set[tuple]] = {
+            constraint: set() for constraint in self._sigma}
+        self._frontiers: Dict[Constraint, List] = {
+            constraint: sorted(constraint.frontier_variables(),
+                               key=lambda v: v.name)
+            if isinstance(constraint, TGD) else []
+            for constraint in self._sigma}
+        self._events: Deque[Tuple[str, Atom]] = deque()
+        self._attached = False
+        instance.add_listener(self)
+        self._attached = True
+        # Lazy seed: the input facts are simply the first deltas.
+        for fact in instance:
+            self.fact_added(fact)
+        # Empty-body TGDs (axioms) have the empty homomorphism as their
+        # one body trigger; its image uses no fact, so delta discovery
+        # would never surface it -- seed it explicitly.
+        for constraint in self._sigma:
+            if not constraint.body:
+                self._seen[constraint].add(())
+                if not self._is_settled(constraint, {}):
+                    self._pending[constraint][()] = {}
+
+    # ------------------------------------------------------------------
+    # InstanceListener protocol: buffer deltas, processed on refresh()
+    # ------------------------------------------------------------------
+    def fact_added(self, fact: Atom) -> None:
+        """Record an insertion delta (processed lazily by refresh)."""
+        self._events.append(("+", fact))
+
+    def fact_removed(self, fact: Atom) -> None:
+        """Record a removal delta (processed lazily by refresh)."""
+        self._events.append(("-", fact))
+
+    def detach(self) -> None:
+        """Stop listening to the instance (idempotent)."""
+        if self._attached:
+            self._instance.remove_listener(self)
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    # Delta consumption
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Drain buffered deltas: retire dead triggers, route added
+        facts to the per-constraint backlogs (expanded lazily).
+
+        Called automatically by every selection method; cheap when no
+        mutation happened since the last call.
+        """
+        while self._events:
+            op, fact = self._events.popleft()
+            if op == "-":
+                self._retire_fact(fact)
+                continue
+            for constraint in self._sigma:
+                if fact.relation in self._body_relations[constraint]:
+                    self._backlog[constraint].append(fact)
+
+    def _retire_fact(self, fact: Atom) -> None:
+        for constraint, key in self._by_fact.pop(fact, ()):
+            self._pending[constraint].pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Activity
+    # ------------------------------------------------------------------
+    def _is_settled(self, constraint: Constraint,
+                    assignment: Assignment) -> bool:
+        """Is the trigger *inactive for good* (safe to drop)?
+
+        Standard chase: a satisfied trigger stays satisfied while its
+        body image survives (see module docstring), so ``True`` means
+        the trigger can be removed permanently.  Oblivious chase: only
+        trivial EGD triggers (``mu(x_i) = mu(x_j)``) are settled.
+        """
+        if isinstance(constraint, EGD):
+            return assignment[constraint.lhs] == assignment[constraint.rhs]
+        if self._oblivious:
+            return False
+        assert isinstance(constraint, TGD)
+        # Satisfaction only depends on the frontier binding, and stays
+        # true once established -- so one check covers every body
+        # homomorphism sharing the frontier (a big saving for bodies
+        # with non-frontier join variables).
+        frontier = tuple(assignment[var] for var in self._frontiers[constraint])
+        cache = self._satisfied_frontiers[constraint]
+        if frontier in cache:
+            return True
+        if head_extends(constraint, self._instance, assignment):
+            cache.add(frontier)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Expansion (lazy semi-naive delta search)
+    # ------------------------------------------------------------------
+    def _prune_for(self, constraint: Constraint):
+        """A search-pruning predicate for the delta enumeration.
+
+        Prunes subtrees guaranteed to yield only settled homomorphisms:
+        TGD bindings whose fully-bound frontier is cached as satisfied
+        (every completion shares that frontier), and EGD bindings that
+        already equate the two sides (every completion stays trivial).
+        Sound in the standard chase only -- the oblivious chase must
+        fire satisfied TGD triggers, so there no pruning happens.
+        """
+        if isinstance(constraint, EGD):
+            lhs, rhs = constraint.lhs, constraint.rhs
+
+            def prune_egd(binding):
+                left = binding.get(lhs)
+                return left is not None and left == binding.get(rhs)
+            return prune_egd
+        if self._oblivious:
+            return None
+        frontier_vars = self._frontiers[constraint]
+        cache = self._satisfied_frontiers[constraint]
+
+        def prune_tgd(binding):
+            values = []
+            for var in frontier_vars:
+                value = binding.get(var)
+                if value is None:
+                    return False
+                values.append(value)
+            return tuple(values) in cache
+        return prune_tgd
+
+    def _expand_backlog(self, constraint: Constraint,
+                        found: List[Assignment],
+                        found_keys: Set[TriggerKey],
+                        cap: Optional[int]) -> None:
+        """Expand backlog facts until ``cap`` active triggers are in
+        ``found`` or nothing is left to expand.
+
+        The enumeration for the fact currently being expanded is kept
+        suspended between calls; yielded assignments are re-validated
+        against the live instance (module docstring explains why this
+        is sound across mutations).
+        """
+        seen = self._seen[constraint]
+        backlog = self._backlog[constraint]
+        body = list(constraint.body)
+        prune = self._prune_for(constraint)
+        while True:
+            enumeration = self._expanding[constraint]
+            if enumeration is None:
+                fact = None
+                while backlog:
+                    candidate = backlog.popleft()
+                    if candidate in self._instance:
+                        fact = candidate
+                        break
+                if fact is None:
+                    return
+                enumeration = find_homomorphisms_through(
+                    body, self._instance, fact, prune=prune)
+                self._expanding[constraint] = enumeration
+            for assignment in enumeration:
+                key = freeze_assignment(assignment)
+                if key in seen:
+                    continue
+                image = apply_assignment(constraint.body, assignment)
+                if any(f not in self._instance for f in image):
+                    continue  # stale yield: an image fact was removed
+                seen.add(key)
+                if self._is_settled(constraint, assignment):
+                    continue  # remembered, never enqueued
+                self._pending[constraint][key] = dict(assignment)
+                for fact in image:
+                    self._by_fact.setdefault(fact, set()).add(
+                        (constraint, key))
+                found.append(dict(assignment))
+                found_keys.add(key)
+                if cap is not None and len(found) >= cap:
+                    return  # enumeration stays suspended for next time
+            self._expanding[constraint] = None  # fact fully expanded
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def _collect_active(self, constraint: Constraint,
+                        found: List[Assignment], found_keys: Set[TriggerKey],
+                        cap: Optional[int]) -> None:
+        """One pass over the materialized queue: drop settled triggers,
+        collect active ones not yet in ``found`` (up to ``cap``)."""
+        pending = self._pending[constraint]
+        settled: List[TriggerKey] = []
+        for key, assignment in pending.items():
+            if key in found_keys:
+                continue
+            if self._is_settled(constraint, assignment):
+                settled.append(key)
+                continue
+            found.append(dict(assignment))
+            found_keys.add(key)
+            if cap is not None and len(found) >= cap:
+                break
+        for key in settled:
+            del pending[key]
+
+    def tracks(self, constraint: Constraint) -> bool:
+        """Is ``constraint`` part of the indexed set?  (Strategies fall
+        back to naive enumeration for untracked constraints.)"""
+        return constraint in self._pending
+
+    def active_triggers(self, constraint: Constraint,
+                        cap: Optional[int] = None) -> List[Assignment]:
+        """Up to ``cap`` pending active triggers of ``constraint``
+        (all of them when ``cap`` is None), dropping satisfied ones.
+
+        Expands backlog deltas only while fewer than ``cap`` active
+        triggers are materialized, so divergent runs -- where an active
+        trigger is always at hand -- do almost no delta searching.
+        """
+        self.refresh()
+        found: List[Assignment] = []
+        found_keys: Set[TriggerKey] = set()
+        self._collect_active(constraint, found, found_keys, cap)
+        if cap is None or len(found) < cap:
+            self._expand_backlog(constraint, found, found_keys, cap)
+        return found
+
+    def next_active(self, constraint: Constraint) -> Optional[Assignment]:
+        """The first pending active trigger of ``constraint``, or None
+        (None is definitive: the backlog has been fully drained).
+
+        Satisfied triggers encountered on the way are dropped
+        permanently; the returned trigger stays pending until it is
+        fired (:meth:`mark_fired`) or its body image is rewritten.
+        """
+        found = self.active_triggers(constraint, cap=1)
+        return found[0] if found else None
+
+    def pop_unfired(self) -> Optional[Tuple[Constraint, Assignment]]:
+        """The next unfired trigger in constraint order (oblivious runs)."""
+        for constraint in self._sigma:
+            assignment = self.next_active(constraint)
+            if assignment is not None:
+                return constraint, assignment
+        return None
+
+    def mark_fired(self, constraint: Constraint,
+                   assignment: Assignment) -> None:
+        """Consume a trigger that was just executed (it stays *seen*,
+        so it can never be re-discovered and re-fired)."""
+        self._pending[constraint].pop(freeze_assignment(assignment), None)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, diagnostics)
+    # ------------------------------------------------------------------
+    def _materialize(self, constraint: Constraint) -> None:
+        """Expand the full backlog of ``constraint`` (introspection)."""
+        self.refresh()
+        self._expand_backlog(constraint, [], set(), None)
+
+    def pending_count(self, constraint: Optional[Constraint] = None) -> int:
+        """Number of pending (discovered-active, not yet retired/fired)
+        triggers, after materializing any outstanding backlog."""
+        targets = [constraint] if constraint is not None else self._sigma
+        for target in targets:
+            self._materialize(target)
+        return sum(len(self._pending[target]) for target in set(targets))
+
+    def pending_assignments(self, constraint: Constraint
+                            ) -> List[Assignment]:
+        """A snapshot of the pending queue of ``constraint`` (in
+        discovery order, without activity re-filtering), after
+        materializing any outstanding backlog."""
+        self._materialize(constraint)
+        return [dict(assignment)
+                for assignment in self._pending[constraint].values()]

@@ -46,10 +46,13 @@ class MonitoredChaseResult:
 def monitored_chase(instance: Instance, sigma: Iterable[Constraint],
                     cycle_limit: int,
                     strategy: Optional[Strategy] = None,
-                    max_steps: int = DEFAULT_MAX_STEPS
-                    ) -> MonitoredChaseResult:
+                    max_steps: int = DEFAULT_MAX_STEPS,
+                    naive: bool = False) -> MonitoredChaseResult:
     """Chase ``instance`` with ``sigma``, aborting as soon as the
-    monitor graph becomes ``cycle_limit``-cyclic."""
+    monitor graph becomes ``cycle_limit``-cyclic (Section 4.2).
+
+    ``naive=True`` forwards to the runner's naive trigger enumeration
+    (see :func:`repro.chase.runner.chase`)."""
     if cycle_limit < 1:
         raise ValueError("cycle_limit must be at least 1")
     monitor = MonitorGraph()
@@ -62,7 +65,7 @@ def monitored_chase(instance: Instance, sigma: Iterable[Constraint],
                 f"{step.index}")
 
     result = chase(instance, sigma, strategy=strategy, max_steps=max_steps,
-                   observers=(observer,))
+                   observers=(observer,), naive=naive)
     return MonitoredChaseResult(result=result, monitor=monitor,
                                 cycle_limit=cycle_limit)
 
@@ -70,10 +73,11 @@ def monitored_chase(instance: Instance, sigma: Iterable[Constraint],
 def pay_as_you_go(instance: Instance, sigma: Iterable[Constraint],
                   max_cycle_limit: int,
                   strategy_factory=None,
-                  max_steps: int = DEFAULT_MAX_STEPS
-                  ) -> MonitoredChaseResult:
+                  max_steps: int = DEFAULT_MAX_STEPS,
+                  naive: bool = False) -> MonitoredChaseResult:
     """Retry the monitored chase with growing cycle limits
-    ``1, 2, ..., max_cycle_limit`` until one terminates.
+    ``1, 2, ..., max_cycle_limit`` until one terminates
+    (Proposition 11's pay-as-you-go principle).
 
     Returns the first non-aborted result, or the last aborted one.
     """
@@ -81,7 +85,7 @@ def pay_as_you_go(instance: Instance, sigma: Iterable[Constraint],
     for limit in range(1, max_cycle_limit + 1):
         strategy = strategy_factory() if strategy_factory else None
         last = monitored_chase(instance, sigma, limit, strategy=strategy,
-                               max_steps=max_steps)
+                               max_steps=max_steps, naive=naive)
         if not last.aborted:
             return last
     assert last is not None

@@ -13,7 +13,8 @@ exploits the instance's ``(relation, position, term)`` index.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import (Callable, Dict, Iterable, Iterator, Mapping, Optional,
+                    Sequence)
 
 from repro.lang.atoms import Atom
 from repro.lang.instance import Instance
@@ -79,17 +80,27 @@ def _candidates(instance: Instance, atom: Atom, binding: Assignment
 
 def find_homomorphisms(atoms: Sequence[Atom], instance: Instance,
                        partial: Optional[Mapping[Variable, GroundTerm]] = None,
-                       limit: Optional[int] = None) -> Iterator[Assignment]:
+                       limit: Optional[int] = None,
+                       prune: Optional[Callable[[Mapping[Variable, GroundTerm]],
+                                                bool]] = None
+                       ) -> Iterator[Assignment]:
     """Enumerate homomorphisms from ``atoms`` into ``instance``.
 
     ``partial`` pre-binds some variables (used for head-extension
     checks, where the universal variables are already fixed).  Yields
     complete assignments for the variables of ``atoms`` (pre-bound
     variables are included).  ``limit`` caps the number of results.
+
+    ``prune``, if given, is called with each (partial) binding after an
+    extension; returning True abandons the whole subtree.  The trigger
+    index uses this to skip bindings whose frontier is already known to
+    be satisfied (every completion would be satisfied too).
     """
     binding: Assignment = dict(partial) if partial else {}
     remaining = list(atoms)
     produced = 0
+    if prune is not None and prune(binding):
+        return
 
     def search(pending: list[Atom], current: Assignment) -> Iterator[Assignment]:
         nonlocal produced
@@ -108,11 +119,57 @@ def find_homomorphisms(atoms: Sequence[Atom], instance: Instance,
             extended = _match_atom(atom, fact, current)
             if extended is None:
                 continue
+            if (prune is not None and extended is not current
+                    and prune(extended)):
+                continue
             yield from search(rest, extended)
             if limit is not None and produced >= limit:
                 return
 
     yield from search(remaining, binding)
+
+
+def find_homomorphisms_through(atoms: Sequence[Atom], instance: Instance,
+                               delta_fact: Atom,
+                               partial: Optional[Mapping[Variable, GroundTerm]] = None,
+                               limit: Optional[int] = None,
+                               prune: Optional[Callable[[Mapping[Variable, GroundTerm]],
+                                                        bool]] = None
+                               ) -> Iterator[Assignment]:
+    """Enumerate homomorphisms whose image uses ``delta_fact``.
+
+    The semi-naive restriction (cf. delta rules in datalog evaluation):
+    ``delta_fact`` is a fact just added to ``instance``, and only
+    homomorphisms mapping at least one atom of ``atoms`` onto it are of
+    interest -- every other homomorphism already existed before the
+    insertion.  For each atom that unifies with ``delta_fact``, the
+    atom is pinned to it and the remaining atoms are solved against the
+    full instance.  Results are deduplicated (a homomorphism using the
+    delta fact at two positions is yielded once).
+
+    This is the workhorse of :class:`repro.chase.triggers.TriggerIndex`:
+    after a chase step adds facts, only these restricted searches run,
+    instead of re-enumerating every body homomorphism from scratch.
+    """
+    atoms = list(atoms)
+    base: Assignment = dict(partial) if partial else {}
+    seen: set[frozenset] = set()
+    produced = 0
+    for pin, atom in enumerate(atoms):
+        pinned = _match_atom(atom, delta_fact, base)
+        if pinned is None:
+            continue
+        rest = atoms[:pin] + atoms[pin + 1:]
+        for assignment in find_homomorphisms(rest, instance, partial=pinned,
+                                             prune=prune):
+            key = frozenset(assignment.items())
+            if key in seen:
+                continue
+            seen.add(key)
+            produced += 1
+            yield assignment
+            if limit is not None and produced >= limit:
+                return
 
 
 def find_homomorphism(atoms: Sequence[Atom], instance: Instance,

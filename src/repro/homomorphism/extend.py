@@ -103,10 +103,18 @@ def find_oblivious_trigger(constraint: Constraint, instance: Instance,
     return None
 
 
+def freeze_assignment(assignment: Mapping[Variable, GroundTerm]) -> tuple:
+    """The canonical hashable form of a body assignment ``mu`` --
+    sorted (variable-name, value) pairs.  The single source of trigger
+    identity for both the naive runners (via :func:`trigger_key`) and
+    the incremental :class:`repro.chase.triggers.TriggerIndex`."""
+    return tuple(sorted(((var.name, value)
+                         for var, value in assignment.items()),
+                        key=lambda kv: kv[0]))
+
+
 def trigger_key(constraint: Constraint, assignment: Mapping[Variable, GroundTerm]
                 ) -> tuple:
     """A hashable identity for (constraint, body image) pairs, used by
     the oblivious chase to fire each trigger exactly once."""
-    ordered = tuple(sorted(((var.name, assignment[var])
-                            for var in assignment), key=lambda kv: kv[0]))
-    return (constraint, ordered)
+    return (constraint, freeze_assignment(assignment))

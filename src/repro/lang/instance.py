@@ -1,24 +1,47 @@
 """Database instances: finite sets of facts with lookup indexes.
 
 An instance is a finite set of atoms over constants and labeled nulls
-(Section 2).  The implementation keeps two indexes tuned for the
+(Section 2).  The implementation keeps three indexes tuned for the
 homomorphism engine that powers the chase:
 
 * relation name -> set of facts,
 * ``(relation, position-index, term)`` -> set of facts,
+* term -> set of ``(relation, position-index)`` keys where it occurs,
 
 so that candidate facts for a partially-bound body atom can be found
-by intersecting small sets instead of scanning.
+by intersecting small sets instead of scanning, and so that EGD
+substitutions (:meth:`Instance.substitute_term`) and position lookups
+(:meth:`Instance.positions_of`) touch only the affected buckets.
+
+Instances additionally support *change listeners*: objects registered
+via :meth:`Instance.add_listener` are told about every fact insertion
+and removal.  This is the delta feed that drives the semi-naive
+trigger index of :mod:`repro.chase.triggers`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Set
+from typing import Dict, Iterable, Iterator, List, Mapping, Set, Tuple
 
 from repro.lang.atoms import Atom, Position
 from repro.lang.errors import SchemaError
 from repro.lang.schema import Schema
 from repro.lang.terms import Constant, GroundTerm, Null, Term
+
+
+class InstanceListener:
+    """Callback interface for instance deltas.
+
+    Subclass (or duck-type) and register with
+    :meth:`Instance.add_listener`.  Listeners are invoked *after* the
+    indexes have been updated, in registration order.
+    """
+
+    def fact_added(self, fact: Atom) -> None:
+        """``fact`` was inserted (it was not present before)."""
+
+    def fact_removed(self, fact: Atom) -> None:
+        """``fact`` was removed (it was present before)."""
 
 
 class Instance:
@@ -28,8 +51,27 @@ class Instance:
         self._facts: Set[Atom] = set()
         self._by_relation: Dict[str, Set[Atom]] = {}
         self._by_term: Dict[tuple[str, int, GroundTerm], Set[Atom]] = {}
+        # Reverse index: term -> {(relation, position-index)} with a
+        # *non-empty* bucket in ``_by_term``.  Lets substitute_term and
+        # positions_of avoid scanning every index key.
+        self._term_positions: Dict[GroundTerm, Set[Tuple[str, int]]] = {}
+        self._listeners: List[InstanceListener] = []
         for fact in facts:
             self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Change listeners (delta feed for the incremental chase)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: InstanceListener) -> None:
+        """Register ``listener`` for fact-added / fact-removed events."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: InstanceListener) -> None:
+        """Unregister ``listener`` (no-op if it is not registered)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Mutation
@@ -44,6 +86,9 @@ class Instance:
         self._by_relation.setdefault(fact.relation, set()).add(fact)
         for i, term in enumerate(fact.args):
             self._by_term.setdefault((fact.relation, i, term), set()).add(fact)
+            self._term_positions.setdefault(term, set()).add((fact.relation, i))
+        for listener in self._listeners:
+            listener.fact_added(fact)
         return True
 
     def add_all(self, facts: Iterable[Atom]) -> list[Atom]:
@@ -51,31 +96,50 @@ class Instance:
         return [fact for fact in facts if self.add(fact)]
 
     def discard(self, fact: Atom) -> bool:
-        """Remove a fact if present.  Returns True if it was removed."""
+        """Remove a fact if present.  Returns True if it was removed.
+
+        Empty index buckets are pruned so the indexes never retain keys
+        for terms that no longer occur in the instance.
+        """
         if fact not in self._facts:
             return False
         self._facts.discard(fact)
-        self._by_relation[fact.relation].discard(fact)
+        relation_bucket = self._by_relation.get(fact.relation)
+        if relation_bucket is not None:
+            relation_bucket.discard(fact)
+            if not relation_bucket:
+                del self._by_relation[fact.relation]
         for i, term in enumerate(fact.args):
-            self._by_term[(fact.relation, i, term)].discard(fact)
+            key = (fact.relation, i, term)
+            bucket = self._by_term.get(key)
+            if bucket is None:
+                continue
+            bucket.discard(fact)
+            if not bucket:
+                del self._by_term[key]
+                positions = self._term_positions.get(term)
+                if positions is not None:
+                    positions.discard((fact.relation, i))
+                    if not positions:
+                        del self._term_positions[term]
+        for listener in self._listeners:
+            listener.fact_removed(fact)
         return True
 
     def substitute_term(self, old: GroundTerm, new: GroundTerm) -> list[Atom]:
         """Replace every occurrence of ``old`` by ``new`` (EGD steps).
 
         Returns the list of facts that changed (their new versions).
+        Uses the term reverse index, so the cost is proportional to the
+        number of affected facts, not the instance size.
         """
         if old == new:
             return []
-        # Collect all facts containing ``old`` via the term index.
-        affected = [fact for key, facts in list(self._by_term.items())
-                    if key[2] == old for fact in facts]
+        affected: set[Atom] = set()
+        for relation, i in self._term_positions.get(old, ()):
+            affected.update(self._by_term.get((relation, i, old), ()))
         changed: list[Atom] = []
-        seen: set[Atom] = set()
         for fact in affected:
-            if fact in seen:
-                continue
-            seen.add(fact)
             self.discard(fact)
             new_fact = fact.substitute({old: new})
             if self.add(new_fact):
@@ -129,10 +193,7 @@ class Instance:
 
     def domain(self) -> set[GroundTerm]:
         """``dom(I)``: all constants and nulls appearing in the instance."""
-        out: set[GroundTerm] = set()
-        for fact in self._facts:
-            out.update(fact.args)  # type: ignore[arg-type]
-        return out
+        return set(self._term_positions)
 
     def constants(self) -> set[Constant]:
         return {t for t in self.domain() if isinstance(t, Constant)}
@@ -142,11 +203,8 @@ class Instance:
 
     def positions_of(self, term: Term) -> set[Position]:
         """``null-pos({term}, I)``: positions at which ``term`` occurs."""
-        out: set[Position] = set()
-        for (relation, index, indexed_term), facts in self._by_term.items():
-            if indexed_term == term and facts:
-                out.add(Position(relation, index + 1))
-        return out
+        return {Position(relation, index + 1)
+                for relation, index in self._term_positions.get(term, ())}
 
     def relations(self) -> set[str]:
         return {name for name, facts in self._by_relation.items() if facts}
@@ -158,6 +216,7 @@ class Instance:
     # Construction helpers
     # ------------------------------------------------------------------
     def copy(self) -> "Instance":
+        """A fresh instance with the same facts (listeners not copied)."""
         return Instance(self._facts)
 
     def union(self, other: "Instance") -> "Instance":

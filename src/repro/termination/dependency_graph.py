@@ -88,6 +88,7 @@ def has_special_cycle(graph: nx.DiGraph) -> bool:
 
 
 def special_edges(graph: nx.DiGraph) -> set[tuple[Position, Position]]:
+    """The graph's special edges (existential propagation, Section 3.1)."""
     return {(u, v) for u, v, data in graph.edges(data=True)
             if data.get(SPECIAL)}
 

@@ -94,6 +94,8 @@ class _Ctx:
         self.budget = budget
 
     def tick(self) -> None:
+        """Spend one unit of search budget; abort the decision
+        procedure when it runs out."""
         self.budget -= 1
         if self.budget <= 0:
             raise _BudgetExhausted
@@ -116,6 +118,7 @@ class _Ctx:
         return (fact, new_i, new_j, added_terms)
 
     def undo_i_fact(self, token: tuple) -> None:
+        """Roll back a speculative :meth:`add_i_fact` (backtracking)."""
         fact, new_i, new_j, added_terms = token
         if new_i:
             self.i_facts.discard(fact)

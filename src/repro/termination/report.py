@@ -68,11 +68,14 @@ class TerminationReport:
         return None
 
     def as_row(self) -> dict:
+        """The per-condition verdicts as a flat dict (benchmark tables)."""
         row = {name: getattr(self, name) for name in CONDITIONS}
         row["t_level"] = self.t_hierarchy_level
         return row
 
     def render(self) -> str:
+        """A multi-line textual report of every termination condition
+        (the Figure 1 hierarchy, one verdict per line)."""
         lines = ["termination analysis "
                  f"({len(list(self.sigma))} constraints):"]
         for name in CONDITIONS:

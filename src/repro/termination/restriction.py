@@ -78,6 +78,8 @@ class RestrictionSystem:
     positions: FrozenSet[Position]
 
     def edges(self) -> Set[Tuple[Constraint, Constraint]]:
+        """The restriction system's constraint-to-constraint edges
+        (Definition 11's binary relation)."""
         return set(self.graph.edges())
 
     def cyclic_components(self) -> List[Set[Constraint]]:
@@ -145,6 +147,7 @@ class FlowRestrictionSystem:
     positions: Dict[Constraint, FrozenSet[Position]]
 
     def positions_of(self, constraint: Constraint) -> FrozenSet[Position]:
+        """``f(alpha)``: the flow-restricted position set of ``alpha``."""
         return self.positions.get(constraint, frozenset())
 
 

@@ -81,6 +81,18 @@ def bounded_null_cascade(depth: int) -> List[Constraint]:
     return out
 
 
+def example9_instance(n: int) -> Instance:
+    """A path of length ``n`` reshaped into the ternary R/S schema of
+    Example 9: ``R(c_i, c_{i+1}, c_i)`` and ``S(c_i)`` for each step --
+    the scalable input for the safe class (Theorem 5) benchmarks."""
+    facts = []
+    for i in range(n):
+        facts.append(Atom("R", (Constant(f"c{i}"), Constant(f"c{i + 1}"),
+                                Constant(f"c{i}"))))
+        facts.append(Atom("S", (Constant(f"c{i}"),)))
+    return Instance(facts)
+
+
 def chain_instance(n: int, relation: str = "E") -> Instance:
     """A path graph ``E(c_0, c_1), ..., E(c_{n-1}, c_n)``."""
     facts = [Atom(relation, (Constant(f"c{i}"), Constant(f"c{i + 1}")))

@@ -66,3 +66,37 @@ class TestStratifiedStrategyValidation:
         strategy = StratifiedStrategy([sigma])
         result = chase(parse_instance("S(a)"), sigma, strategy=strategy)
         assert result.terminated
+
+
+class TestStrategyCompatibility:
+    def test_reused_strategy_falls_back_to_naive(self):
+        """After a run ends, a reused strategy must answer select()
+        for a new instance instead of consulting the dead index."""
+        from repro.lang.parser import parse_constraints, parse_instance
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        strategy = OrderedStrategy()
+        result = chase(parse_instance("S(a)"), sigma, strategy=strategy)
+        assert result.terminated
+        selection = strategy.select(parse_instance("S(zz)"))
+        assert selection is not None  # S(zz) violates the TGD
+
+    def test_duck_typed_pre_index_strategy_still_works(self):
+        """A plain object honouring the pre-index start/select contract
+        (no Strategy subclassing, no attach_triggers) must still run."""
+        from repro.homomorphism.extend import violation
+        from repro.lang.parser import parse_constraints, parse_instance
+
+        class Legacy:
+            def start(self, sigma, instance):
+                self.sigma = list(sigma)
+
+            def select(self, instance):
+                for constraint in self.sigma:
+                    assignment = violation(constraint, instance)
+                    if assignment is not None:
+                        return constraint, assignment
+                return None
+
+        sigma = parse_constraints("S(x) -> E(x,y)")
+        result = chase(parse_instance("S(a)"), sigma, strategy=Legacy())
+        assert result.terminated and result.length == 1

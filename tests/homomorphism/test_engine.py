@@ -106,3 +106,60 @@ class TestProperties:
         for hom in find_homomorphisms(pattern, inst):
             for atom in apply_assignment(pattern, hom):
                 assert atom in inst
+
+
+class TestDeltaRestrictedSearch:
+    """find_homomorphisms_through: the semi-naive delta search."""
+
+    def _through(self, pattern, inst, fact, **kw):
+        from repro.homomorphism.engine import find_homomorphisms_through
+        return list(find_homomorphisms_through(pattern, inst, fact, **kw))
+
+    def test_only_homs_using_the_delta_fact(self):
+        inst = parse_instance("E(a,b). E(b,c)")
+        delta = Atom("E", (b, c))
+        homs = self._through([Atom("E", (x, y))], inst, delta)
+        assert [(h[x], h[y]) for h in homs] == [(b, c)]
+
+    def test_join_through_delta(self):
+        inst = parse_instance("E(a,b). E(b,c). E(c,a)")
+        delta = Atom("E", (b, c))
+        pattern = [Atom("E", (x, y)), Atom("E", (y, z))]
+        homs = self._through(pattern, inst, delta)
+        assert {(h[x], h[y], h[z]) for h in homs} == {(a, b, c), (b, c, a)}
+
+    def test_deduplicates_multi_position_uses(self):
+        inst = parse_instance("E(a,a)")
+        delta = Atom("E", (a, a))
+        pattern = [Atom("E", (x, y)), Atom("E", (y, x))]
+        homs = self._through(pattern, inst, delta)
+        assert len(homs) == 1
+
+    def test_relation_mismatch_yields_nothing(self):
+        inst = parse_instance("E(a,b). S(a)")
+        homs = self._through([Atom("E", (x, y))], inst, Atom("S", (a,)))
+        assert homs == []
+
+    def test_limit(self):
+        inst = parse_instance("E(a,b). E(b,c). E(c,a)")
+        pattern = [Atom("E", (x, y)), Atom("E", (z, y))]
+        homs = self._through(pattern, inst, Atom("E", (a, b)), limit=1)
+        assert len(homs) == 1
+
+    @given(graph_instances())
+    def test_equals_set_difference_of_full_searches(self, inst):
+        """homs(I) - homs(I without f) == homs through f, for any f."""
+        from repro.homomorphism.engine import find_homomorphisms_through
+        pattern = [Atom("E", (x, y)), Atom("S", (x,))]
+        facts = sorted(inst.facts(), key=str)
+        if not facts:
+            return
+        fact = facts[0]
+        without = Instance(f for f in inst if f != fact)
+        full = {frozenset(h.items())
+                for h in find_homomorphisms(pattern, inst)}
+        old = {frozenset(h.items())
+               for h in find_homomorphisms(pattern, without)}
+        delta = {frozenset(h.items())
+                 for h in find_homomorphisms_through(pattern, inst, fact)}
+        assert delta == full - old

@@ -92,3 +92,76 @@ class TestConstruction:
     def test_render_deterministic(self):
         inst = parse_instance("S(b). S(a)")
         assert inst.render() == "S(a)\nS(b)"
+
+
+class TestListeners:
+    class Recorder:
+        def __init__(self):
+            self.added, self.removed = [], []
+
+        def fact_added(self, fact):
+            self.added.append(fact)
+
+        def fact_removed(self, fact):
+            self.removed.append(fact)
+
+    def test_add_and_discard_notify(self):
+        inst = Instance()
+        rec = self.Recorder()
+        inst.add_listener(rec)
+        fact = Atom("E", (a, b))
+        inst.add(fact)
+        inst.add(fact)  # duplicate: no second event
+        inst.discard(fact)
+        assert rec.added == [fact] and rec.removed == [fact]
+
+    def test_substitute_term_emits_removal_and_addition(self):
+        inst = Instance([Atom("E", (a, n1))])
+        rec = self.Recorder()
+        inst.add_listener(rec)
+        inst.substitute_term(n1, b)
+        assert rec.removed == [Atom("E", (a, n1))]
+        assert rec.added == [Atom("E", (a, b))]
+
+    def test_merge_produces_no_addition_event(self):
+        inst = Instance([Atom("E", (a, n1)), Atom("E", (a, b))])
+        rec = self.Recorder()
+        inst.add_listener(rec)
+        inst.substitute_term(n1, b)  # E(a,n1) collapses onto E(a,b)
+        assert rec.removed == [Atom("E", (a, n1))] and rec.added == []
+
+    def test_remove_listener(self):
+        inst = Instance()
+        rec = self.Recorder()
+        inst.add_listener(rec)
+        inst.remove_listener(rec)
+        inst.add(Atom("S", (a,)))
+        assert rec.added == []
+
+    def test_copy_does_not_share_listeners(self):
+        inst = Instance()
+        rec = self.Recorder()
+        inst.add_listener(rec)
+        inst.copy().add(Atom("S", (a,)))
+        assert rec.added == []
+
+
+class TestIndexHygiene:
+    def test_discard_prunes_empty_buckets(self):
+        inst = Instance([Atom("E", (a, b))])
+        inst.discard(Atom("E", (a, b)))
+        assert inst._by_term == {}
+        assert inst._by_relation == {}
+        assert inst._term_positions == {}
+
+    def test_substitute_leaves_no_stale_term_entries(self):
+        inst = Instance([Atom("E", (a, n1)), Atom("E", (n1, b))])
+        inst.substitute_term(n1, c)
+        assert n1 not in inst._term_positions
+        assert all(key[2] != n1 for key in inst._by_term)
+        assert inst.positions_of(n1) == set()
+
+    def test_domain_reflects_live_terms_only(self):
+        inst = Instance([Atom("E", (a, b)), Atom("S", (c,))])
+        inst.discard(Atom("S", (c,)))
+        assert inst.domain() == {a, b}
