@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check
+.PHONY: test bench bench-smoke bench-json docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,6 +11,14 @@ bench:
 
 bench-smoke:
 	REPRO_BENCH_SIZES=4,8 $(PYTHON) -m pytest benchmarks/bench_chase_scaling.py -q --benchmark-disable
+
+# Timed run of the scaling bench, persisted as a JSON artifact so the
+# perf trajectory (incremental index, storage backends) is tracked
+# across PRs.  Honours REPRO_BENCH_SIZES.
+bench-json:
+	$(PYTHON) -m pytest benchmarks/bench_chase_scaling.py -q \
+	    --benchmark-json=BENCH_chase_scaling.json
+	@echo "wrote BENCH_chase_scaling.json"
 
 docs-check:
 	@test -f README.md || { echo "README.md missing"; exit 1; }

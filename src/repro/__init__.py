@@ -5,6 +5,10 @@ The library provides:
 
 * a relational substrate (:mod:`repro.lang`) with TGDs/EGDs, instances
   and a text format;
+* a pluggable storage layer (:mod:`repro.storage`): term interning and
+  two interchangeable fact-store backends (``set`` reference layout,
+  ``column`` columnar/interned-id layout), selected via
+  ``Instance(backend=...)`` or ``REPRO_BACKEND``;
 * a chase engine (:mod:`repro.chase`) with standard and oblivious
   runners and pluggable application strategies;
 * every data-independent termination condition of the paper's Figure 1
@@ -40,6 +44,8 @@ from repro.kb import (certain_answers, is_restrictedly_guarded,
 from repro.lang import (Atom, Constant, EGD, Instance, Null, parse_constraint,
                         parse_constraints, parse_instance, parse_query,
                         Position, Schema, TGD, Variable)
+from repro.storage import (ColumnStore, FactStore, SetStore, TermTable,
+                           backend_names)
 from repro.termination import (analyze, chase_strata, check,
                                is_c_stratified, is_inductively_restricted,
                                is_safe, is_stratified, is_weakly_acyclic,
@@ -60,5 +66,6 @@ __all__ = [
     "Schema", "TGD", "Variable", "analyze", "chase_strata", "check",
     "is_c_stratified", "is_inductively_restricted", "is_safe",
     "is_stratified", "is_weakly_acyclic", "stratified_strategy", "t_level",
-    "TerminationReport", "__version__",
+    "TerminationReport", "ColumnStore", "FactStore", "SetStore",
+    "TermTable", "backend_names", "__version__",
 ]

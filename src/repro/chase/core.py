@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.homomorphism.engine import find_homomorphisms
+from repro.homomorphism.engine import (find_homomorphisms,
+                                       is_endomorphism_proper)
 from repro.lang.atoms import Atom
 from repro.lang.instance import Instance
 from repro.lang.terms import GroundTerm, Null, Variable
@@ -43,23 +44,27 @@ def _improving_endomorphism(instance: Instance,
     for assignment in find_homomorphisms(atoms, instance):
         examined += 1
         mapping = {inverse[var]: value for var, value in assignment.items()}
-        image = {atom.substitute(dict(mapping)) for atom in facts}
-        if len(image) < len(facts):
-            return mapping
+        # Null permutations (injective, null-valued) cannot shrink the
+        # image -- skip them without materializing it.
+        if is_endomorphism_proper(instance, mapping):
+            image = {atom.substitute(dict(mapping)) for atom in facts}
+            if len(image) < len(facts):
+                return mapping
         if examined >= search_limit:
             break
     return None
 
 
 def core(instance: Instance) -> Instance:
-    """The core of ``instance`` (a fresh instance)."""
+    """The core of ``instance`` (a fresh instance, same backend)."""
     current = instance.copy()
     while True:
         mapping = _improving_endomorphism(current)
         if mapping is None:
             return current
-        current = Instance(atom.substitute(dict(mapping))
-                           for atom in current)
+        current = Instance((atom.substitute(dict(mapping))
+                            for atom in current),
+                           backend=current.backend)
 
 
 def is_core(instance: Instance) -> bool:

@@ -26,7 +26,7 @@ from repro.chase.step import ChaseStep, apply_step
 from repro.chase.strategies import RoundRobinStrategy, Strategy
 from repro.chase.triggers import TriggerIndex
 from repro.homomorphism.engine import find_homomorphisms
-from repro.homomorphism.extend import trigger_key
+from repro.homomorphism.extend import freeze_assignment_ids
 from repro.lang.constraints import Constraint
 from repro.lang.errors import ChaseFailure
 from repro.lang.instance import Instance
@@ -168,6 +168,9 @@ def _oblivious_chase_naive(instance: Instance, sigma: Iterable[Constraint],
     """Reference oblivious chase: restart full enumeration per step."""
     sigma = list(sigma)
     working = instance.copy() if copy else instance
+    # Fired-trigger keys are (constraint, interned assignment) pairs --
+    # like the trigger index, the cache never hashes a boxed term.
+    table = working.term_table
     fired: set[tuple] = set()
     sequence: list[ChaseStep] = []
     index = 0
@@ -177,7 +180,7 @@ def _oblivious_chase_naive(instance: Instance, sigma: Iterable[Constraint],
         for constraint in sigma:
             for assignment in find_homomorphisms(list(constraint.body),
                                                  working):
-                key = trigger_key(constraint, assignment)
+                key = (constraint, freeze_assignment_ids(assignment, table))
                 if key in fired:
                     continue
                 fired.add(key)

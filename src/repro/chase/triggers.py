@@ -31,17 +31,28 @@ datalog evaluation, kept *lazy* at homomorphism granularity:
   necessarily rewrites its body image, which retires the trigger
   through the delta feed first.
 
+Since the storage-layer refactor every internal key is an interned
+integer id from the working instance's store: the delta queue and the
+per-constraint backlogs carry permanent *fact ids*
+(:meth:`repro.storage.base.FactStore.fact_id` -- stable across EGD
+remove/re-add cycles), the fact -> pending-trigger reverse map is
+keyed on fact ids, and trigger identity plus the satisfied-frontier
+cache are tuples of interned *term ids*.  No ``Atom`` or term is
+hashed on the trigger hot path; atoms are decoded from ids only to run
+the homomorphism search itself.
+
 Trigger identity is the frozen body assignment (the paper's
-``(alpha, mu(x))`` naming of chase steps, Section 2).  Keys once seen
-are never re-enqueued, and a suspended enumeration stays sound across
-instance mutations, for the same underlying reason: facts are only
-ever removed by EGD substitutions eliminating a labeled null, null
-labels are globally fresh (:class:`repro.lang.terms.NullFactory`), so
-a removed fact -- and hence a retired assignment -- can never come
-back.  Homomorphisms that appear *after* a suspension use a newly
-added fact and are found through that fact's own backlog entry;
-homomorphisms yielded from stale enumeration state are filtered by
-re-validating their body image against the live instance.
+``(alpha, mu(x))`` naming of chase steps, Section 2), as interned
+(variable name, term id) pairs.  Keys once seen are never re-enqueued,
+and a suspended enumeration stays sound across instance mutations, for
+the same underlying reason: facts are only ever removed by EGD
+substitutions eliminating a labeled null, null labels are globally
+fresh (:class:`repro.lang.terms.NullFactory`), so a removed fact --
+and hence a retired assignment -- can never come back.  Homomorphisms
+that appear *after* a suspension use a newly added fact and are found
+through that fact's own backlog entry; homomorphisms yielded from
+stale enumeration state are filtered by re-validating their body image
+against the live instance.
 
 The oblivious mode (Section 3.3's chase variant) keeps every pending
 body homomorphism eligible regardless of head satisfaction and relies
@@ -54,19 +65,20 @@ from collections import OrderedDict, deque
 from typing import (Deque, Dict, Iterable, Iterator, List, Optional, Set,
                     Tuple)
 
-from repro.homomorphism.engine import (Assignment, apply_assignment,
+from repro.homomorphism.engine import (Assignment,
                                        find_homomorphisms_through)
-from repro.homomorphism.extend import freeze_assignment, head_extends
-from repro.lang.atoms import Atom
+from repro.homomorphism.extend import freeze_assignment_ids, head_extends
+from repro.homomorphism.plan import compile_plan
 from repro.lang.constraints import Constraint, EGD, TGD
 from repro.lang.instance import Instance
-from repro.lang.terms import GroundTerm
+from repro.lang.terms import Variable
+from repro.storage.base import FactId
 
 #: Hashable identity of a trigger within one constraint: the frozen
-#: body assignment ``mu`` (sorted variable-name/value pairs), shared
-#: with the naive runners' ``trigger_key`` via
-#: :func:`repro.homomorphism.extend.freeze_assignment`.
-TriggerKey = Tuple[Tuple[str, GroundTerm], ...]
+#: body assignment ``mu`` as sorted (variable-name, interned-term-id)
+#: pairs.  Ids come from the working instance's term table, so the key
+#: is two machine ints per variable instead of a boxed term hash.
+TriggerKey = Tuple[Tuple[str, int], ...]
 
 
 class TriggerIndex:
@@ -85,6 +97,8 @@ class TriggerIndex:
                  oblivious: bool = False) -> None:
         self._sigma: List[Constraint] = list(sigma)
         self._instance = instance
+        self._store = instance.store
+        self._table = instance.store.terms
         self._oblivious = oblivious
         #: materialized triggers that were active when discovered
         self._pending: Dict[Constraint, "OrderedDict[TriggerKey, Assignment]"] = {
@@ -92,18 +106,27 @@ class TriggerIndex:
         #: every assignment ever discovered (pending, fired, settled)
         self._seen: Dict[Constraint, Set[TriggerKey]] = {
             constraint: set() for constraint in self._sigma}
-        self._by_fact: Dict[Atom, Set[Tuple[Constraint, TriggerKey]]] = {}
+        #: fact id -> pending triggers whose body image uses the fact
+        self._by_fact: Dict[FactId, Set[Tuple[Constraint, TriggerKey]]] = {}
         self._body_relations: Dict[Constraint, Set[str]] = {
             constraint: {atom.relation for atom in constraint.body}
             for constraint in self._sigma}
-        #: added facts not yet expanded, per constraint
-        self._backlog: Dict[Constraint, Deque[Atom]] = {
+        #: inverted routing map: relation -> constraints mentioning it,
+        #: so refresh() is O(interested constraints) per added fact
+        self._constraints_by_relation: Dict[str, List[Constraint]] = {}
+        for constraint in self._sigma:
+            for relation in self._body_relations[constraint]:
+                self._constraints_by_relation.setdefault(
+                    relation, []).append(constraint)
+        #: added fact ids not yet expanded, per constraint
+        self._backlog: Dict[Constraint, Deque[FactId]] = {
             constraint: deque() for constraint in self._sigma}
         #: suspended delta enumeration for the backlog fact being expanded
         self._expanding: Dict[Constraint, Optional[Iterator[Assignment]]] = {
             constraint: None for constraint in self._sigma}
-        #: frontier bindings whose TGD head is known to extend; sound to
-        #: cache because satisfaction is permanent (module docstring)
+        #: interned frontier bindings whose TGD head is known to extend;
+        #: sound to cache because satisfaction is permanent (module
+        #: docstring)
         self._satisfied_frontiers: Dict[Constraint, Set[tuple]] = {
             constraint: set() for constraint in self._sigma}
         self._frontiers: Dict[Constraint, List] = {
@@ -111,7 +134,8 @@ class TriggerIndex:
                                key=lambda v: v.name)
             if isinstance(constraint, TGD) else []
             for constraint in self._sigma}
-        self._events: Deque[Tuple[str, Atom]] = deque()
+        #: buffered deltas: (op, fact id)
+        self._events: Deque[Tuple[str, FactId]] = deque()
         self._attached = False
         instance.add_listener(self)
         self._attached = True
@@ -128,15 +152,26 @@ class TriggerIndex:
                     self._pending[constraint][()] = {}
 
     # ------------------------------------------------------------------
+    # Trigger identity
+    # ------------------------------------------------------------------
+    def _freeze(self, assignment: Assignment) -> TriggerKey:
+        """The interned trigger key of a body assignment ``mu``."""
+        return freeze_assignment_ids(assignment, self._table)
+
+    # ------------------------------------------------------------------
     # InstanceListener protocol: buffer deltas, processed on refresh()
     # ------------------------------------------------------------------
-    def fact_added(self, fact: Atom) -> None:
+    def fact_added(self, fact) -> None:
         """Record an insertion delta (processed lazily by refresh)."""
-        self._events.append(("+", fact))
+        self._events.append(("+", self._store.fact_id(fact)))
 
-    def fact_removed(self, fact: Atom) -> None:
-        """Record a removal delta (processed lazily by refresh)."""
-        self._events.append(("-", fact))
+    def fact_removed(self, fact) -> None:
+        """Record a removal delta (processed lazily by refresh).
+
+        Fact ids are permanent (they survive removal), so the id still
+        resolves when the event is drained.
+        """
+        self._events.append(("-", self._store.fact_id(fact)))
 
     def detach(self) -> None:
         """Stop listening to the instance (idempotent)."""
@@ -155,16 +190,16 @@ class TriggerIndex:
         mutation happened since the last call.
         """
         while self._events:
-            op, fact = self._events.popleft()
+            op, fid = self._events.popleft()
             if op == "-":
-                self._retire_fact(fact)
+                self._retire_fact(fid)
                 continue
-            for constraint in self._sigma:
-                if fact.relation in self._body_relations[constraint]:
-                    self._backlog[constraint].append(fact)
+            relation = self._store.fact_of(fid).relation
+            for constraint in self._constraints_by_relation.get(relation, ()):
+                self._backlog[constraint].append(fid)
 
-    def _retire_fact(self, fact: Atom) -> None:
-        for constraint, key in self._by_fact.pop(fact, ()):
+    def _retire_fact(self, fid: FactId) -> None:
+        for constraint, key in self._by_fact.pop(fid, ()):
             self._pending[constraint].pop(key, None)
 
     # ------------------------------------------------------------------
@@ -188,7 +223,9 @@ class TriggerIndex:
         # true once established -- so one check covers every body
         # homomorphism sharing the frontier (a big saving for bodies
         # with non-frontier join variables).
-        frontier = tuple(assignment[var] for var in self._frontiers[constraint])
+        intern = self._table.intern
+        frontier = tuple(intern(assignment[var])
+                         for var in self._frontiers[constraint])
         cache = self._satisfied_frontiers[constraint]
         if frontier in cache:
             return True
@@ -209,6 +246,11 @@ class TriggerIndex:
         already equate the two sides (every completion stays trivial).
         Sound in the standard chase only -- the oblivious chase must
         fire satisfied TGD triggers, so there no pruning happens.
+
+        The predicates accept both binding flavours: the plan engine
+        calls them with interned ids (int equality, direct cache
+        lookups), the reference engine with ground terms (interned on
+        the fly for the frontier cache).
         """
         if isinstance(constraint, EGD):
             lhs, rhs = constraint.lhs, constraint.rhs
@@ -216,11 +258,17 @@ class TriggerIndex:
             def prune_egd(binding):
                 left = binding.get(lhs)
                 return left is not None and left == binding.get(rhs)
+            # Declaring the variables the predicate reads lets the plan
+            # executor abandon a whole scan on the first True when the
+            # scanned atom binds none of them (the predicate's answer
+            # cannot change row to row).
+            prune_egd.depends_on = frozenset((lhs, rhs))
             return prune_egd
         if self._oblivious:
             return None
         frontier_vars = self._frontiers[constraint]
         cache = self._satisfied_frontiers[constraint]
+        intern = self._table.intern
 
         def prune_tgd(binding):
             values = []
@@ -228,8 +276,10 @@ class TriggerIndex:
                 value = binding.get(var)
                 if value is None:
                     return False
-                values.append(value)
+                values.append(value if type(value) is int
+                              else intern(value))
             return tuple(values) in cache
+        prune_tgd.depends_on = frozenset(frontier_vars)
         return prune_tgd
 
     def _expand_backlog(self, constraint: Constraint,
@@ -244,9 +294,16 @@ class TriggerIndex:
         against the live instance (module docstring explains why this
         is sound across mutations).
         """
+        store = self._store
+        intern = self._table.intern
         seen = self._seen[constraint]
         backlog = self._backlog[constraint]
         body = list(constraint.body)
+        # The compiled plan of the body doubles as its id-level image
+        # template: body atoms are re-grounded as interned-id tuples,
+        # validated with one row_fid probe each -- no Atom is built or
+        # hashed on this path.
+        specs = compile_plan(constraint.body).specs
         prune = self._prune_for(constraint)
         while True:
             enumeration = self._expanding[constraint]
@@ -254,8 +311,8 @@ class TriggerIndex:
                 fact = None
                 while backlog:
                     candidate = backlog.popleft()
-                    if candidate in self._instance:
-                        fact = candidate
+                    if store.alive(candidate):
+                        fact = store.fact_of(candidate)
                         break
                 if fact is None:
                     return
@@ -263,18 +320,36 @@ class TriggerIndex:
                     body, self._instance, fact, prune=prune)
                 self._expanding[constraint] = enumeration
             for assignment in enumeration:
-                key = freeze_assignment(assignment)
+                ids_by_var = {var: intern(value)
+                              for var, value in assignment.items()}
+                # Inlined freeze_assignment_ids (reusing ids_by_var so
+                # each value is interned once) -- must keep producing
+                # the same key shape as :meth:`_freeze`.
+                key = tuple(sorted((var.name, tid)
+                                   for var, tid in ids_by_var.items()))
                 if key in seen:
                     continue
-                image = apply_assignment(constraint.body, assignment)
-                if any(f not in self._instance for f in image):
-                    continue  # stale yield: an image fact was removed
+                image_fids = []
+                stale = False
+                for spec in specs:
+                    ids = tuple(ids_by_var[arg]
+                                if isinstance(arg, Variable) else intern(arg)
+                                for arg in spec.args)
+                    fid = store.row_fid(spec.relation, spec.arity, ids)
+                    if fid is None:
+                        stale = True  # an image fact was removed
+                        break
+                    image_fids.append(fid)
+                if stale:
+                    continue
                 seen.add(key)
                 if self._is_settled(constraint, assignment):
                     continue  # remembered, never enqueued
-                self._pending[constraint][key] = dict(assignment)
-                for fact in image:
-                    self._by_fact.setdefault(fact, set()).add(
+                # The engine yields a fresh dict per assignment; safe
+                # to keep without copying.
+                self._pending[constraint][key] = assignment
+                for fid in image_fids:
+                    self._by_fact.setdefault(fid, set()).add(
                         (constraint, key))
                 found.append(dict(assignment))
                 found_keys.add(key)
@@ -350,7 +425,7 @@ class TriggerIndex:
                    assignment: Assignment) -> None:
         """Consume a trigger that was just executed (it stays *seen*,
         so it can never be re-discovered and re-fired)."""
-        self._pending[constraint].pop(freeze_assignment(assignment), None)
+        self._pending[constraint].pop(self._freeze(assignment), None)
 
     # ------------------------------------------------------------------
     # Introspection (tests, diagnostics)

@@ -28,8 +28,10 @@ from repro.chase import chase, ChaseStatus
 from repro.cq import optimize
 from repro.datadep import monitored_chase
 from repro.lang.errors import NonTerminationBudget, ReproError
+from repro.lang.instance import Instance
 from repro.lang.parser import (parse_constraints, parse_instance,
                                parse_query)
+from repro.storage import backend_names
 from repro.termination import analyze
 from repro import viz
 
@@ -48,6 +50,10 @@ def cmd_analyze(args) -> int:
 def cmd_chase(args) -> int:
     sigma = _load_constraints(args.constraints)
     instance = parse_instance(Path(args.instance).read_text())
+    if args.backend:
+        # Rebuild on the requested fact-store backend (parse_instance
+        # honours REPRO_BACKEND; the flag wins over the environment).
+        instance = Instance(instance, backend=args.backend)
     if args.cycle_limit:
         result = monitored_chase(instance, sigma, args.cycle_limit,
                                  max_steps=args.max_steps).result
@@ -107,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=10_000)
     p.add_argument("--cycle-limit", type=int, default=0,
                    help="arm the Section 4.2 monitor (0 = off)")
+    p.add_argument("--backend", choices=backend_names(), default=None,
+                   help="fact-store backend (default: $REPRO_BACKEND "
+                        "or 'set')")
     p.set_defaults(func=cmd_chase)
 
     p = sub.add_parser("graph", help="emit a graph as DOT")

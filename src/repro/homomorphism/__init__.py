@@ -2,20 +2,29 @@
 
 from repro.homomorphism.engine import (Assignment, apply_assignment,
                                        find_homomorphism, find_homomorphisms,
+                                       find_homomorphisms_through,
                                        has_homomorphism,
                                        homomorphism_between,
                                        instance_maps_into,
-                                       null_renaming_equivalent)
+                                       is_endomorphism_proper,
+                                       null_renaming_equivalent,
+                                       reference_engine)
 from repro.homomorphism.extend import (all_satisfied,
                                        constraint_satisfied_for,
                                        find_oblivious_trigger, find_trigger,
+                                       freeze_assignment,
+                                       freeze_assignment_ids,
                                        head_extends, is_satisfied,
                                        trigger_key, violation)
+from repro.homomorphism.plan import JoinPlan, compile_plan
 
 __all__ = [
     "Assignment", "apply_assignment", "find_homomorphism",
-    "find_homomorphisms", "has_homomorphism", "homomorphism_between",
-    "instance_maps_into", "null_renaming_equivalent", "all_satisfied",
-    "constraint_satisfied_for", "find_oblivious_trigger", "find_trigger",
-    "head_extends", "is_satisfied", "trigger_key", "violation",
+    "find_homomorphisms", "find_homomorphisms_through",
+    "has_homomorphism", "homomorphism_between", "instance_maps_into",
+    "is_endomorphism_proper", "null_renaming_equivalent",
+    "reference_engine", "all_satisfied", "constraint_satisfied_for",
+    "find_oblivious_trigger", "find_trigger", "freeze_assignment",
+    "freeze_assignment_ids", "head_extends", "is_satisfied",
+    "trigger_key", "violation", "JoinPlan", "compile_plan",
 ]

@@ -7,8 +7,11 @@ require nulls occurring on the *source* side to map to themselves --
 the source side of every search in this library is either a constraint
 body (variables + constants) or an already-grounded atom set.
 
-The search is a classic most-constrained-first backtracking join that
-exploits the instance's ``(relation, position, term)`` index.
+The search itself is a backtracking join executed by a compiled
+:class:`repro.homomorphism.plan.JoinPlan`: the atom order is chosen
+once per binding signature (selectivity-informed most-constrained
+first), candidates come from the fact store's interned-id access
+paths, and terms are decoded only when a binding survives.
 """
 
 from __future__ import annotations
@@ -16,66 +19,44 @@ from __future__ import annotations
 from typing import (Callable, Dict, Iterable, Iterator, Mapping, Optional,
                     Sequence)
 
+from contextlib import contextmanager
+
+from repro.homomorphism.plan import Assignment, compile_plan
+from repro.homomorphism.reference import (reference_find_homomorphisms,
+                                          reference_find_homomorphisms_through)
 from repro.lang.atoms import Atom
 from repro.lang.instance import Instance
-from repro.lang.terms import Constant, GroundTerm, Null, Term, Variable
+from repro.lang.terms import GroundTerm, Null, Variable
 
-Assignment = Dict[Variable, GroundTerm]
+__all__ = [
+    "Assignment", "apply_assignment", "find_homomorphism",
+    "find_homomorphisms", "find_homomorphisms_through",
+    "has_homomorphism", "homomorphism_between", "instance_maps_into",
+    "is_endomorphism_proper", "null_renaming_equivalent",
+    "reference_engine",
+]
 
-
-def _resolve(term: Term, binding: Mapping[Variable, GroundTerm]
-             ) -> Optional[GroundTerm]:
-    """The ground value of ``term`` under ``binding`` or None if unbound."""
-    if isinstance(term, Variable):
-        return binding.get(term)
-    # Constants and nulls are rigid on the source side.
-    return term  # type: ignore[return-value]
-
-
-def _bound_count(atom: Atom, binding: Mapping[Variable, GroundTerm]) -> int:
-    return sum(1 for arg in atom.args if _resolve(arg, binding) is not None)
+#: When True, searches run on the preserved PR 1 algorithm
+#: (:mod:`repro.homomorphism.reference`) instead of compiled plans.
+_reference_mode = False
 
 
-def _match_atom(atom: Atom, fact: Atom, binding: Assignment
-                ) -> Optional[Assignment]:
-    """Try to unify ``atom`` with ``fact`` under ``binding``.
+@contextmanager
+def reference_engine():
+    """Temporarily route all searches through the pre-plan engine.
 
-    Returns the (possibly extended) binding on success, None otherwise.
-    The returned dict is a fresh copy only when new variables are bound.
+    The reference oracle for the compiled-plan executor -- used by the
+    cross-validation tests and as the baseline of the storage-layer
+    benchmarks (``benchmarks/bench_chase_scaling.py``).  Not
+    thread-safe; intended for tests and benchmarks only.
     """
-    if atom.relation != fact.relation or atom.arity != fact.arity:
-        return None
-    new_entries: list[tuple[Variable, GroundTerm]] = []
-    local: Dict[Variable, GroundTerm] = {}
-    for arg, value in zip(atom.args, fact.args):
-        if isinstance(arg, Variable):
-            bound = binding.get(arg)
-            if bound is None:
-                bound = local.get(arg)
-            if bound is None:
-                local[arg] = value
-                new_entries.append((arg, value))
-            elif bound != value:
-                return None
-        elif arg != value:
-            # Constants and source-side nulls must match exactly.
-            return None
-    if not new_entries:
-        return binding if isinstance(binding, dict) else dict(binding)
-    extended = dict(binding)
-    extended.update(new_entries)
-    return extended
-
-
-def _candidates(instance: Instance, atom: Atom, binding: Assignment
-                ) -> Iterable[Atom]:
-    """Facts of the instance that could match ``atom`` under ``binding``."""
-    bound: Dict[int, GroundTerm] = {}
-    for i, arg in enumerate(atom.args):
-        value = _resolve(arg, binding)
-        if value is not None:
-            bound[i] = value
-    return instance.matching(atom.relation, bound)
+    global _reference_mode
+    previous = _reference_mode
+    _reference_mode = True
+    try:
+        yield
+    finally:
+        _reference_mode = previous
 
 
 def find_homomorphisms(atoms: Sequence[Atom], instance: Instance,
@@ -96,37 +77,12 @@ def find_homomorphisms(atoms: Sequence[Atom], instance: Instance,
     index uses this to skip bindings whose frontier is already known to
     be satisfied (every completion would be satisfied too).
     """
-    binding: Assignment = dict(partial) if partial else {}
-    remaining = list(atoms)
-    produced = 0
-    if prune is not None and prune(binding):
-        return
-
-    def search(pending: list[Atom], current: Assignment) -> Iterator[Assignment]:
-        nonlocal produced
-        if limit is not None and produced >= limit:
-            return
-        if not pending:
-            produced += 1
-            yield dict(current)
-            return
-        # Most-constrained-first: pick the atom with the most bound args.
-        best_index = max(range(len(pending)),
-                         key=lambda i: _bound_count(pending[i], current))
-        atom = pending[best_index]
-        rest = pending[:best_index] + pending[best_index + 1:]
-        for fact in _candidates(instance, atom, current):
-            extended = _match_atom(atom, fact, current)
-            if extended is None:
-                continue
-            if (prune is not None and extended is not current
-                    and prune(extended)):
-                continue
-            yield from search(rest, extended)
-            if limit is not None and produced >= limit:
-                return
-
-    yield from search(remaining, binding)
+    if _reference_mode:
+        return reference_find_homomorphisms(atoms, instance, partial=partial,
+                                            limit=limit, prune=prune)
+    plan = compile_plan(tuple(atoms))
+    return plan.execute(instance.store, partial=partial, limit=limit,
+                        prune=prune)
 
 
 def find_homomorphisms_through(atoms: Sequence[Atom], instance: Instance,
@@ -142,26 +98,48 @@ def find_homomorphisms_through(atoms: Sequence[Atom], instance: Instance,
     ``delta_fact`` is a fact just added to ``instance``, and only
     homomorphisms mapping at least one atom of ``atoms`` onto it are of
     interest -- every other homomorphism already existed before the
-    insertion.  For each atom that unifies with ``delta_fact``, the
-    atom is pinned to it and the remaining atoms are solved against the
-    full instance.  Results are deduplicated (a homomorphism using the
-    delta fact at two positions is yielded once).
+    insertion.  Each atom that unifies with ``delta_fact`` is pinned to
+    it inside the body's compiled plan and the remaining atoms are
+    solved against the full instance.
+
+    A homomorphism using the delta fact at several positions is
+    yielded once: when more than one atom unifies, results are
+    deduplicated on their frozen assignment.  In the common single-pin
+    case -- the delta fact unifies with exactly one body atom -- no
+    duplicate can arise (within one pin, a complete binding determines
+    every matched fact), so the per-yield dedup hashing is skipped
+    entirely.
 
     This is the workhorse of :class:`repro.chase.triggers.TriggerIndex`:
     after a chase step adds facts, only these restricted searches run,
     instead of re-enumerating every body homomorphism from scratch.
     """
-    atoms = list(atoms)
+    if _reference_mode:
+        yield from reference_find_homomorphisms_through(
+            atoms, instance, delta_fact, partial=partial, limit=limit,
+            prune=prune)
+        return
+    plan = compile_plan(tuple(atoms))
+    store = instance.store
     base: Assignment = dict(partial) if partial else {}
-    seen: set[frozenset] = set()
+    pins = []
+    for index in range(len(plan.atoms)):
+        entries = plan.pin_binding(index, delta_fact, base)
+        if entries is not None:
+            pins.append((index, entries))
+    if not pins:
+        return
+    if len(pins) == 1:
+        index, entries = pins[0]
+        yield from plan.execute(store, partial=base, pin_index=index,
+                                pin_entries=entries, limit=limit,
+                                prune=prune)
+        return
+    seen: set = set()
     produced = 0
-    for pin, atom in enumerate(atoms):
-        pinned = _match_atom(atom, delta_fact, base)
-        if pinned is None:
-            continue
-        rest = atoms[:pin] + atoms[pin + 1:]
-        for assignment in find_homomorphisms(rest, instance, partial=pinned,
-                                             prune=prune):
+    for index, entries in pins:
+        for assignment in plan.execute(store, partial=base, pin_index=index,
+                                       pin_entries=entries, prune=prune):
             key = frozenset(assignment.items())
             if key in seen:
                 continue
@@ -199,14 +177,27 @@ def apply_assignment(atoms: Iterable[Atom],
                      assignment: Mapping[Variable, GroundTerm]
                      ) -> list[Atom]:
     """Ground ``atoms`` under ``assignment`` (identity elsewhere)."""
-    return [atom.substitute(dict(assignment)) for atom in atoms]
+    mapping = dict(assignment)
+    return [atom.substitute(mapping) for atom in atoms]
 
 
 def is_endomorphism_proper(instance: Instance, assignment: Mapping) -> bool:
     """True when ``assignment`` (on nulls) is non-injective or drops a
-    null -- used by the core computation."""
-    values = set(assignment.values())
-    return len(values) < len(assignment)
+    null -- i.e. maps some null to a constant (or, more generally, to
+    any non-null value).
+
+    Used by the core computation as a *can-this-shrink* filter: an
+    endomorphism that is injective on the nulls of ``instance`` and
+    maps nulls only to nulls is a null permutation, so its image has
+    exactly as many facts as ``instance`` and folding along it can
+    never make progress.  (``instance`` is part of the signature for
+    symmetry with the other instance-level predicates; the test is a
+    property of the assignment alone.)
+    """
+    values = list(assignment.values())
+    if len(set(values)) < len(values):
+        return True
+    return any(not isinstance(value, Null) for value in values)
 
 
 def null_renaming_equivalent(left: Instance, right: Instance) -> bool:

@@ -31,10 +31,24 @@ from repro.lang.terms import Constant, Variable
 class Constraint:
     """Common base class for TGDs and EGDs."""
 
-    __slots__ = ("body", "label", "_hash")
+    __slots__ = ("body", "label", "_hash", "_cache")
 
     body: tuple[Atom, ...]
     label: str | None
+
+    def _cached(self, key: str, compute):
+        """Memoize derived, order-insensitive data on the (immutable)
+        constraint -- variable sets are recomputed on every chase step
+        otherwise (``head_extends`` needs the frontier each time)."""
+        cache = getattr(self, "_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_cache", cache)
+        try:
+            return cache[key]
+        except KeyError:
+            value = cache[key] = compute()
+            return value
 
     @property
     def is_tgd(self) -> bool:
@@ -44,14 +58,15 @@ class Constraint:
     def is_egd(self) -> bool:
         return isinstance(self, EGD)
 
-    def body_variables(self) -> set[Variable]:
+    def body_variables(self) -> frozenset[Variable]:
         """Variables of the body (= the universally quantified ones,
         for EGDs and for TGDs together with head-occurring body vars)."""
-        return atoms_variables(self.body)
+        return self._cached("body_vars",
+                            lambda: frozenset(atoms_variables(self.body)))
 
-    def universal_variables(self) -> set[Variable]:
+    def universal_variables(self) -> frozenset[Variable]:
         """All universally quantified variables (the body variables)."""
-        return atoms_variables(self.body)
+        return self.body_variables()
 
     def positions(self) -> set[Position]:
         """``pos(alpha)``: positions in the body (paper convention)."""
@@ -94,16 +109,21 @@ class TGD(Constraint):
     def __hash__(self) -> int:
         return self._hash
 
-    def head_variables(self) -> set[Variable]:
-        return atoms_variables(self.head)
+    def head_variables(self) -> frozenset[Variable]:
+        return self._cached("head_vars",
+                            lambda: frozenset(atoms_variables(self.head)))
 
-    def existential_variables(self) -> set[Variable]:
+    def existential_variables(self) -> frozenset[Variable]:
         """Head variables that do not occur in the body."""
-        return self.head_variables() - self.body_variables()
+        return self._cached(
+            "existential_vars",
+            lambda: self.head_variables() - self.body_variables())
 
-    def frontier_variables(self) -> set[Variable]:
+    def frontier_variables(self) -> frozenset[Variable]:
         """Body variables that also occur in the head."""
-        return self.head_variables() & self.body_variables()
+        return self._cached(
+            "frontier_vars",
+            lambda: self.head_variables() & self.body_variables())
 
     def head_positions(self) -> set[Position]:
         return atoms_positions(self.head)

@@ -1,32 +1,39 @@
-"""Database instances: finite sets of facts with lookup indexes.
+"""Database instances: finite sets of facts over a pluggable store.
 
 An instance is a finite set of atoms over constants and labeled nulls
-(Section 2).  The implementation keeps three indexes tuned for the
-homomorphism engine that powers the chase:
+(Section 2).  Since the storage-layer refactor the ``Instance`` class
+is a thin facade: all physical concerns -- indexes, term interning,
+fact ids, the change-listener delta feed -- live in a
+:class:`repro.storage.base.FactStore` backend:
 
-* relation name -> set of facts,
-* ``(relation, position-index, term)`` -> set of facts,
-* term -> set of ``(relation, position-index)`` keys where it occurs,
+* ``backend="set"`` (:class:`repro.storage.set_store.SetStore`) keeps
+  the reference dict-of-sets layout;
+* ``backend="column"``
+  (:class:`repro.storage.column_store.ColumnStore`) stores
+  per-relation columnar tuples of interned term ids with array-backed
+  posting lists -- the layout the compiled join plans of
+  :mod:`repro.homomorphism.plan` execute against.
 
-so that candidate facts for a partially-bound body atom can be found
-by intersecting small sets instead of scanning, and so that EGD
-substitutions (:meth:`Instance.substitute_term`) and position lookups
-(:meth:`Instance.positions_of`) touch only the affected buckets.
+When ``backend`` is omitted the ``REPRO_BACKEND`` environment variable
+decides (default ``set``).  Both backends are interchangeable: the
+facade API, the listener event order, and the chase results are
+identical (cross-validated in ``tests/storage/test_stores.py``).
 
-Instances additionally support *change listeners*: objects registered
-via :meth:`Instance.add_listener` are told about every fact insertion
-and removal.  This is the delta feed that drives the semi-naive
-trigger index of :mod:`repro.chase.triggers`.
+Instances support *change listeners*: objects registered via
+:meth:`Instance.add_listener` are told about every fact insertion and
+removal.  This is the delta feed that drives the semi-naive trigger
+index of :mod:`repro.chase.triggers`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Set, Tuple
+from typing import Iterable, Iterator, Mapping, Set, Union
 
 from repro.lang.atoms import Atom, Position
-from repro.lang.errors import SchemaError
 from repro.lang.schema import Schema
 from repro.lang.terms import Constant, GroundTerm, Null, Term
+from repro.storage.base import FactStore, make_store
+from repro.storage.interning import TermTable
 
 
 class InstanceListener:
@@ -34,7 +41,7 @@ class InstanceListener:
 
     Subclass (or duck-type) and register with
     :meth:`Instance.add_listener`.  Listeners are invoked *after* the
-    indexes have been updated, in registration order.
+    backend indexes have been updated, in registration order.
     """
 
     def fact_added(self, fact: Atom) -> None:
@@ -45,179 +52,133 @@ class InstanceListener:
 
 
 class Instance:
-    """A mutable set of ground atoms (facts) with indexes."""
+    """A mutable set of ground atoms (facts) behind a fact store."""
 
-    def __init__(self, facts: Iterable[Atom] = ()) -> None:
-        self._facts: Set[Atom] = set()
-        self._by_relation: Dict[str, Set[Atom]] = {}
-        self._by_term: Dict[tuple[str, int, GroundTerm], Set[Atom]] = {}
-        # Reverse index: term -> {(relation, position-index)} with a
-        # *non-empty* bucket in ``_by_term``.  Lets substitute_term and
-        # positions_of avoid scanning every index key.
-        self._term_positions: Dict[GroundTerm, Set[Tuple[str, int]]] = {}
-        self._listeners: List[InstanceListener] = []
+    __slots__ = ("_store",)
+
+    def __init__(self, facts: Iterable[Atom] = (),
+                 backend: Union[str, FactStore, None] = None) -> None:
+        self._store = make_store(backend)
+        add = self._store.add
         for fact in facts:
-            self.add(fact)
+            add(fact)
+
+    # ------------------------------------------------------------------
+    # Storage backend
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> FactStore:
+        """The active storage backend (id-level API for the engine)."""
+        return self._store
+
+    @property
+    def backend(self) -> str:
+        """The active backend's registry name (``set`` / ``column``)."""
+        return self._store.name
+
+    @property
+    def term_table(self) -> TermTable:
+        """The store's term-interning table."""
+        return self._store.terms
 
     # ------------------------------------------------------------------
     # Change listeners (delta feed for the incremental chase)
     # ------------------------------------------------------------------
     def add_listener(self, listener: InstanceListener) -> None:
         """Register ``listener`` for fact-added / fact-removed events."""
-        self._listeners.append(listener)
+        self._store.add_listener(listener)
 
     def remove_listener(self, listener: InstanceListener) -> None:
         """Unregister ``listener`` (no-op if it is not registered)."""
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            pass
+        self._store.remove_listener(listener)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, fact: Atom) -> bool:
         """Insert a fact.  Returns True if it was new."""
-        if not fact.is_ground:
-            raise SchemaError(f"cannot store non-ground atom {fact}")
-        if fact in self._facts:
-            return False
-        self._facts.add(fact)
-        self._by_relation.setdefault(fact.relation, set()).add(fact)
-        for i, term in enumerate(fact.args):
-            self._by_term.setdefault((fact.relation, i, term), set()).add(fact)
-            self._term_positions.setdefault(term, set()).add((fact.relation, i))
-        for listener in self._listeners:
-            listener.fact_added(fact)
-        return True
+        return self._store.add(fact)
 
     def add_all(self, facts: Iterable[Atom]) -> list[Atom]:
         """Insert many facts; return the ones that were actually new."""
-        return [fact for fact in facts if self.add(fact)]
+        return self._store.add_all(facts)
 
     def discard(self, fact: Atom) -> bool:
         """Remove a fact if present.  Returns True if it was removed.
 
-        Empty index buckets are pruned so the indexes never retain keys
-        for terms that no longer occur in the instance.
+        Empty index buckets are pruned so the backend never retains
+        keys for terms that no longer occur in the instance.
         """
-        if fact not in self._facts:
-            return False
-        self._facts.discard(fact)
-        relation_bucket = self._by_relation.get(fact.relation)
-        if relation_bucket is not None:
-            relation_bucket.discard(fact)
-            if not relation_bucket:
-                del self._by_relation[fact.relation]
-        for i, term in enumerate(fact.args):
-            key = (fact.relation, i, term)
-            bucket = self._by_term.get(key)
-            if bucket is None:
-                continue
-            bucket.discard(fact)
-            if not bucket:
-                del self._by_term[key]
-                positions = self._term_positions.get(term)
-                if positions is not None:
-                    positions.discard((fact.relation, i))
-                    if not positions:
-                        del self._term_positions[term]
-        for listener in self._listeners:
-            listener.fact_removed(fact)
-        return True
+        return self._store.discard(fact)
 
     def substitute_term(self, old: GroundTerm, new: GroundTerm) -> list[Atom]:
         """Replace every occurrence of ``old`` by ``new`` (EGD steps).
 
         Returns the list of facts that changed (their new versions).
-        Uses the term reverse index, so the cost is proportional to the
-        number of affected facts, not the instance size.
+        Uses the backend's term reverse index, so the cost is
+        proportional to the number of affected facts, not the instance
+        size.
         """
-        if old == new:
-            return []
-        affected: set[Atom] = set()
-        for relation, i in self._term_positions.get(old, ()):
-            affected.update(self._by_term.get((relation, i, old), ()))
-        changed: list[Atom] = []
-        for fact in affected:
-            self.discard(fact)
-            new_fact = fact.substitute({old: new})
-            if self.add(new_fact):
-                changed.append(new_fact)
-        return changed
+        return self._store.substitute_term(old, new)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def __contains__(self, fact: Atom) -> bool:
-        return fact in self._facts
+        return fact in self._store
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(self._facts)
+        return iter(self._store)
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._store)
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Instance) and self._facts == other._facts
+        # Set equality of the fact sets -- backends may differ.
+        return (isinstance(other, Instance)
+                and len(self._store) == len(other._store)
+                and all(fact in other._store for fact in self._store))
 
     def facts(self, relation: str | None = None) -> Set[Atom]:
         """All facts, or the facts of one relation (a fresh set)."""
-        if relation is None:
-            return set(self._facts)
-        return set(self._by_relation.get(relation, ()))
+        return self._store.facts(relation)
 
     def matching(self, relation: str, bindings: Mapping[int, GroundTerm]
                  ) -> Set[Atom]:
         """Facts of ``relation`` agreeing with ``bindings``
-        (0-based position index -> required term).  Uses the indexes.
+        (0-based position index -> required term).  Uses the backend's
+        access paths.
         """
-        base = self._by_relation.get(relation)
-        if not base:
-            return set()
-        if not bindings:
-            return set(base)
-        candidate_sets = []
-        for i, term in bindings.items():
-            facts = self._by_term.get((relation, i, term))
-            if not facts:
-                return set()
-            candidate_sets.append(facts)
-        candidate_sets.sort(key=len)
-        result = set(candidate_sets[0])
-        for facts in candidate_sets[1:]:
-            result &= facts
-            if not result:
-                break
-        return result
+        return self._store.matching(relation, bindings)
 
     def domain(self) -> set[GroundTerm]:
         """``dom(I)``: all constants and nulls appearing in the instance."""
-        return set(self._term_positions)
+        return self._store.domain()
 
     def constants(self) -> set[Constant]:
-        return {t for t in self.domain() if isinstance(t, Constant)}
+        return self._store.constants_of_domain()
 
     def nulls(self) -> set[Null]:
-        return {t for t in self.domain() if isinstance(t, Null)}
+        return self._store.nulls_of_domain()
 
     def positions_of(self, term: Term) -> set[Position]:
         """``null-pos({term}, I)``: positions at which ``term`` occurs."""
         return {Position(relation, index + 1)
-                for relation, index in self._term_positions.get(term, ())}
+                for relation, index in self._store.term_positions(term)}
 
     def relations(self) -> set[str]:
-        return {name for name, facts in self._by_relation.items() if facts}
+        return self._store.relations()
 
     def schema(self) -> Schema:
-        return Schema.infer(self._facts)
+        return Schema.infer(self._store)
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     def copy(self) -> "Instance":
-        """A fresh instance with the same facts (listeners not copied)."""
-        return Instance(self._facts)
+        """A fresh instance with the same facts and backend kind
+        (listeners are not copied)."""
+        return Instance(self._store, backend=self._store.name)
 
     def union(self, other: "Instance") -> "Instance":
         out = self.copy()
@@ -228,10 +189,11 @@ class Instance:
         return self.union(other)
 
     def __repr__(self) -> str:
-        preview = ", ".join(sorted(str(f) for f in self._facts)[:8])
-        more = "" if len(self._facts) <= 8 else f", ... ({len(self._facts)} facts)"
+        facts = sorted(str(f) for f in self._store)
+        preview = ", ".join(facts[:8])
+        more = "" if len(facts) <= 8 else f", ... ({len(facts)} facts)"
         return f"Instance({{{preview}{more}}})"
 
     def render(self) -> str:
         """A deterministic multi-line rendering (sorted facts)."""
-        return "\n".join(sorted(str(f) for f in self._facts))
+        return "\n".join(sorted(str(f) for f in self._store))

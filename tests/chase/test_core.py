@@ -36,6 +36,22 @@ class TestCore:
         inst = Instance([Atom("E", (a, Null(1)))])
         assert is_core(inst)
 
+    def test_injective_null_drop_is_found(self):
+        """Pins the behaviour behind ``is_endomorphism_proper``: the
+        only improving endomorphism here is injective on its values
+        (n1 -> a) but drops a null -- the fixed properness test must
+        not filter it out."""
+        inst = Instance([Atom("S", (Null(1),)), Atom("S", (a,))])
+        assert not is_core(inst)
+        assert core(inst) == parse_instance("S(a)")
+
+    def test_null_permutations_never_fold(self):
+        """A symmetric null pair only admits permutation endomorphisms,
+        which the properness filter skips -- the instance is a core."""
+        inst = Instance([Atom("E", (Null(1), Null(2))),
+                         Atom("E", (Null(2), Null(1)))])
+        assert is_core(inst)
+
     @given(graph_instances())
     @settings(max_examples=25, deadline=None)
     def test_core_is_equivalent_and_minimal(self, inst):

@@ -6,6 +6,7 @@ from repro.homomorphism.engine import (apply_assignment, find_homomorphism,
                                        find_homomorphisms, has_homomorphism,
                                        homomorphism_between,
                                        instance_maps_into,
+                                       is_endomorphism_proper,
                                        null_renaming_equivalent)
 from repro.lang.atoms import Atom
 from repro.lang.instance import Instance
@@ -106,6 +107,31 @@ class TestProperties:
         for hom in find_homomorphisms(pattern, inst):
             for atom in apply_assignment(pattern, hom):
                 assert atom in inst
+
+
+class TestIsEndomorphismProper:
+    """The core computation's can-this-shrink filter: proper means
+    non-injective *or* drops a null (maps one to a non-null)."""
+
+    def test_null_permutation_is_not_proper(self):
+        inst = Instance([Atom("E", (Null(1), Null(2)))])
+        assert not is_endomorphism_proper(
+            inst, {Null(1): Null(2), Null(2): Null(1)})
+        assert not is_endomorphism_proper(inst, {Null(1): Null(1)})
+
+    def test_non_injective_mapping_is_proper(self):
+        inst = Instance([Atom("E", (Null(1), Null(2)))])
+        assert is_endomorphism_proper(
+            inst, {Null(1): Null(2), Null(2): Null(2)})
+
+    def test_injective_null_to_constant_is_proper(self):
+        # The pre-fix implementation missed exactly this case: the
+        # mapping is injective on its values but drops the null.
+        inst = Instance([Atom("S", (Null(1),)), Atom("S", (a,))])
+        assert is_endomorphism_proper(inst, {Null(1): a})
+
+    def test_empty_mapping_is_not_proper(self):
+        assert not is_endomorphism_proper(Instance(), {})
 
 
 class TestDeltaRestrictedSearch:

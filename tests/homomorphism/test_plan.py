@@ -1,0 +1,163 @@
+"""Compiled join plans: unit behaviour + reference cross-validation.
+
+The plan executor must enumerate exactly the assignments of the
+preserved PR 1 search (:mod:`repro.homomorphism.reference`) on both
+storage backends -- the same discipline as the trigger index's
+naive/incremental cross-validation.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.homomorphism.engine import (find_homomorphisms,
+                                       find_homomorphisms_through,
+                                       reference_engine)
+from repro.homomorphism.plan import JoinPlan, compile_plan
+from repro.homomorphism.reference import (
+    reference_find_homomorphisms, reference_find_homomorphisms_through)
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+from repro.lang.parser import parse_instance
+from repro.lang.terms import Constant, Variable
+
+from tests.conftest import graph_instances
+
+x, y, z, u = Variable("x"), Variable("y"), Variable("z"), Variable("u")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+PATTERNS = [
+    [Atom("E", (x, y))],
+    [Atom("E", (x, x))],
+    [Atom("E", (x, y)), Atom("E", (y, z))],
+    [Atom("E", (x, y)), Atom("E", (y, x))],
+    [Atom("E", (x, y)), Atom("S", (x,))],
+    [Atom("E", (x, y)), Atom("S", (u,))],          # cross product
+    [Atom("E", (a, y)), Atom("E", (y, z))],        # ground position
+    [Atom("S", (x,)), Atom("S", (y,)), Atom("E", (x, y))],
+]
+
+
+def _freeze(assignments):
+    return {frozenset(h.items()) for h in assignments}
+
+
+class TestPlanMatchesReference:
+    @given(graph_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_find_homomorphisms_agrees(self, inst):
+        facts = sorted(inst.facts(), key=str)
+        for backend in ("set", "column"):
+            instance = Instance(facts, backend=backend)
+            for pattern in PATTERNS:
+                expected = _freeze(
+                    reference_find_homomorphisms(pattern, instance))
+                actual = _freeze(find_homomorphisms(pattern, instance))
+                assert actual == expected, (backend, pattern)
+
+    @given(graph_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_delta_search_agrees(self, inst):
+        facts = sorted(inst.facts(), key=str)
+        for backend in ("set", "column"):
+            instance = Instance(facts, backend=backend)
+            delta = facts[0]
+            for pattern in PATTERNS:
+                expected = _freeze(reference_find_homomorphisms_through(
+                    pattern, instance, delta))
+                actual = _freeze(find_homomorphisms_through(
+                    pattern, instance, delta))
+                assert actual == expected, (backend, pattern)
+
+    def test_partial_binding_agrees(self):
+        inst = parse_instance("E(a,b). E(b,c). E(a,c). S(a). S(b)")
+        pattern = [Atom("E", (x, y)), Atom("E", (y, z))]
+        expected = _freeze(
+            reference_find_homomorphisms(pattern, inst, partial={x: a}))
+        assert _freeze(find_homomorphisms(pattern, inst,
+                                          partial={x: a})) == expected
+
+    def test_reference_engine_context_switches_the_default(self):
+        inst = parse_instance("E(a,b)")
+        with reference_engine():
+            homs = list(find_homomorphisms([Atom("E", (x, y))], inst))
+        assert homs == [{x: a, y: b}]
+
+
+class TestPlanUnits:
+    def test_compile_plan_is_cached_per_body(self):
+        body = (Atom("E", (x, y)), Atom("S", (x,)))
+        assert compile_plan(body) is compile_plan(body)
+        assert compile_plan(body) is not compile_plan((Atom("E", (x, y)),))
+
+    def test_order_cached_per_signature(self):
+        inst = parse_instance("E(a,b). E(b,c). S(a)")
+        plan = JoinPlan([Atom("E", (x, y)), Atom("S", (x,))])
+        first = plan.order_for(inst.store, frozenset())
+        assert plan.order_for(inst.store, frozenset()) is first
+        pinned = plan.order_for(inst.store, frozenset(), pin=0)
+        assert pinned == (1,)
+
+    def test_order_prefers_selective_relation(self):
+        # S has 1 fact, E has 3: with nothing bound the greedy order
+        # starts at the smaller relation.
+        inst = parse_instance("E(a,b). E(b,c). E(c,a). S(a)")
+        plan = JoinPlan([Atom("E", (x, y)), Atom("S", (x,))])
+        assert plan.order_for(inst.store, frozenset()) == (1, 0)
+
+    def test_pin_binding_rejects_mismatches(self):
+        plan = JoinPlan([Atom("E", (x, x)), Atom("E", (a, y))])
+        assert plan.pin_binding(0, Atom("E", (a, b)), {}) is None
+        assert plan.pin_binding(0, Atom("E", (a, a)), {}) == {x: a}
+        assert plan.pin_binding(1, Atom("S", (a,)), {}) is None
+        assert plan.pin_binding(1, Atom("E", (a, b)), {}) == {y: b}
+        assert plan.pin_binding(1, Atom("E", (b, b)), {}) is None
+
+    def test_single_pin_skips_dedup_but_stays_correct(self):
+        # The delta unifies with exactly one atom: results must equal
+        # the reference (which always pays the dedup hash).
+        inst = parse_instance("E(a,b). E(b,c). S(a). S(b)")
+        pattern = [Atom("E", (x, y)), Atom("S", (x,))]
+        delta = Atom("S", (b,))
+        expected = _freeze(reference_find_homomorphisms_through(
+            pattern, inst, delta))
+        assert _freeze(find_homomorphisms_through(pattern, inst,
+                                                  delta)) == expected
+
+    def test_multi_pin_deduplicates(self):
+        inst = parse_instance("E(a,a)")
+        pattern = [Atom("E", (x, y)), Atom("E", (y, x))]
+        homs = list(find_homomorphisms_through(pattern, inst,
+                                               Atom("E", (a, a))))
+        assert homs == [{x: a, y: a}]
+
+    def test_limit_respected_on_all_paths(self):
+        inst = parse_instance("E(a,b). E(b,c). E(c,a). S(a). S(b). S(c)")
+        assert len(list(find_homomorphisms([Atom("E", (x, y))], inst,
+                                           limit=2))) == 2
+        assert len(list(find_homomorphisms(
+            [Atom("E", (x, y)), Atom("S", (u,))], inst, limit=4))) == 4
+
+    def test_prune_depends_on_abandons_scan_soundly(self):
+        # A prune predicate reading only x: declaring depends_on lets
+        # the executor abandon whole scans, without changing results.
+        inst = parse_instance("E(a,b). E(b,c). S(a). S(b). S(c)")
+        pattern = [Atom("E", (x, y)), Atom("S", (u,))]
+
+        def make_prune(declare):
+            def prune(binding):
+                value = binding.get(x)
+                if value is None:
+                    return False
+                table = inst.term_table
+                tid = value if isinstance(value, int) else table.intern(value)
+                return tid == table.intern(a)
+            if declare:
+                prune.depends_on = frozenset((x,))
+            return prune
+
+        plain = list(find_homomorphisms(pattern, inst,
+                                        prune=make_prune(False)))
+        declared = list(find_homomorphisms(pattern, inst,
+                                           prune=make_prune(True)))
+        assert _freeze(plain) == _freeze(declared)
+        assert declared and all(h[x] != a for h in declared)

@@ -148,20 +148,54 @@ class TestListeners:
 
 class TestIndexHygiene:
     def test_discard_prunes_empty_buckets(self):
-        inst = Instance([Atom("E", (a, b))])
+        inst = Instance([Atom("E", (a, b))], backend="set")
         inst.discard(Atom("E", (a, b)))
-        assert inst._by_term == {}
-        assert inst._by_relation == {}
-        assert inst._term_positions == {}
+        assert inst.store._by_term == {}
+        assert inst.store._by_relation == {}
+        assert inst.store._term_positions == {}
 
     def test_substitute_leaves_no_stale_term_entries(self):
-        inst = Instance([Atom("E", (a, n1)), Atom("E", (n1, b))])
+        inst = Instance([Atom("E", (a, n1)), Atom("E", (n1, b))],
+                        backend="set")
         inst.substitute_term(n1, c)
-        assert n1 not in inst._term_positions
-        assert all(key[2] != n1 for key in inst._by_term)
+        assert n1 not in inst.store._term_positions
+        assert all(key[2] != n1 for key in inst.store._by_term)
         assert inst.positions_of(n1) == set()
 
     def test_domain_reflects_live_terms_only(self):
         inst = Instance([Atom("E", (a, b)), Atom("S", (c,))])
         inst.discard(Atom("S", (c,)))
         assert inst.domain() == {a, b}
+
+
+class TestBackendSelection:
+    def test_default_backend_is_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert Instance().backend == "set"
+
+    def test_explicit_backend(self):
+        inst = Instance([Atom("E", (a, b))], backend="column")
+        assert inst.backend == "column"
+        assert Atom("E", (a, b)) in inst
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "column")
+        assert Instance().backend == "column"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SchemaError):
+            Instance(backend="btree")
+
+    def test_copy_preserves_backend(self):
+        inst = Instance([Atom("E", (a, b))], backend="column")
+        clone = inst.copy()
+        assert clone.backend == "column" and clone == inst
+
+    def test_equality_across_backends(self):
+        left = Instance([Atom("E", (a, b)), Atom("S", (c,))],
+                        backend="set")
+        right = Instance([Atom("S", (c,)), Atom("E", (a, b))],
+                         backend="column")
+        assert left == right
+        right.discard(Atom("S", (c,)))
+        assert left != right

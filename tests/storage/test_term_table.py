@@ -1,0 +1,38 @@
+"""TermTable unit tests: dense ids, bijectivity, permanence."""
+
+from repro.lang.terms import Constant, Null
+from repro.storage.interning import TermTable
+
+a, b = Constant("a"), Constant("b")
+n1 = Null(1)
+
+
+class TestTermTable:
+    def test_ids_are_dense_and_stable(self):
+        table = TermTable()
+        assert table.intern(a) == 0
+        assert table.intern(b) == 1
+        assert table.intern(a) == 0  # idempotent
+        assert len(table) == 2
+
+    def test_round_trip(self):
+        table = TermTable()
+        for term in (a, b, n1):
+            assert table.term(table.intern(term)) == term
+
+    def test_id_of_does_not_insert(self):
+        table = TermTable()
+        assert table.id_of(a) is None
+        assert len(table) == 0
+        table.intern(a)
+        assert table.id_of(a) == 0
+
+    def test_equal_terms_share_an_id(self):
+        table = TermTable()
+        assert table.intern(Constant("x")) == table.intern(Constant("x"))
+        assert table.intern(Null(7)) == table.intern(Null(7))
+
+    def test_contains(self):
+        table = TermTable()
+        table.intern(a)
+        assert a in table and b not in table
