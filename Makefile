@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-json docs-check
+.PHONY: test test-service bench bench-smoke bench-json docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Service-layer smoke: worker pool (2 workers), budget kills, cache,
+# batch/serve CLI -- plus a real `repro batch` over the example jobs.
+test-service:
+	$(PYTHON) -m pytest tests/service tests/integration/test_cli.py \
+	    tests/chase/test_budgets.py -q
+	$(PYTHON) -m repro batch examples/jobs --workers 2 --events
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q

@@ -19,6 +19,11 @@ backend): on the cross-product workload family the columnar access
 paths compose with the lazy trigger expansion into a >=2x end-to-end
 speedup at the largest sizes.
 
+Since the service-layer PR it also measures **batch throughput**: a
+mixed batch of workload-family jobs through the
+:mod:`repro.service` scheduler with 1 vs. N workers and a cold vs.
+warm fingerprint cache (the warm pass must execute nothing).
+
 Set ``REPRO_BENCH_SIZES`` (comma-separated, e.g. ``4,8``) to shrink
 the sweep -- used by the CI smoke job.  ``make bench-json`` writes the
 timings to ``BENCH_chase_scaling.json`` so the perf trajectory is
@@ -214,6 +219,61 @@ def test_backends_agree_on_terminating_workload(benchmark):
     assert set_result.terminated and column_result.terminated
     assert null_renaming_equivalent(set_result.instance,
                                     column_result.instance)
+
+
+@pytest.mark.paper_artifact("service layer")
+def test_batch_throughput_workers_and_cache(benchmark):
+    """Batch service: N mixed jobs through 1 vs. W workers, cold vs.
+    warm fingerprint cache.
+
+    Every configuration must produce results identical to sequential
+    in-process execution (the per-job null factory makes them exactly
+    comparable).  The warm-cache pass must execute nothing and beat
+    the cold sequential pass outright; the 1-vs-W ratio is reported
+    (process startup dominates at the smallest job sizes, so no
+    speedup is asserted for it).
+    """
+    import os as _os
+
+    from repro.service import BatchScheduler, ChaseJob, ServiceCache
+    from repro.workloads.batch import mixed_batch_specs
+
+    n_jobs = max(8, max(SIZES))
+    workers = max(2, min(4, _os.cpu_count() or 2))
+    specs = mixed_batch_specs(n_jobs, seed=42,
+                              min_size=max(4, max(SIZES) // 4),
+                              max_size=max(8, max(SIZES)))
+
+    def jobs():
+        return [ChaseJob.from_dict(spec) for spec in specs]
+
+    def run_cold(n_workers):
+        return BatchScheduler(workers=n_workers).run_batch(jobs())
+
+    results = benchmark(lambda: run_cold(workers))
+    reference = [(r.job, r.status, r.facts)
+                 for r in BatchScheduler(
+                     workers=1, force_inprocess=True).run_batch(jobs())]
+    assert [(r.job, r.status, r.facts) for r in results] == reference
+
+    serial_seconds = _best_of(lambda: run_cold(1))
+    parallel_seconds = _best_of(lambda: run_cold(workers))
+
+    warm_scheduler = BatchScheduler(workers=workers, cache=ServiceCache())
+    warm_scheduler.run_batch(jobs())                     # prime the cache
+    executed = warm_scheduler.pool.executed
+    warm_seconds = _best_of(lambda: warm_scheduler.run_batch(jobs()))
+    assert warm_scheduler.pool.executed == executed      # nothing re-ran
+    assert all(r.cached for r in warm_scheduler.run_batch(jobs()))
+
+    print(f"\nbatch of {n_jobs} jobs on {_os.cpu_count()} cpu(s): "
+          f"1 worker {serial_seconds:.3f}s, "
+          f"{workers} workers {parallel_seconds:.3f}s "
+          f"(x{serial_seconds / parallel_seconds:.2f}), warm cache "
+          f"{warm_seconds:.4f}s (x{serial_seconds / warm_seconds:.0f} "
+          "over cold serial)")
+    assert warm_seconds < serial_seconds, (
+        "warm-cache batch not faster than cold sequential execution")
 
 
 @pytest.mark.paper_artifact("Introduction")

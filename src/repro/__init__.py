@@ -20,7 +20,11 @@ The library provides:
 * conjunctive queries and chase-based semantic query optimization
   (:mod:`repro.cq`);
 * the Section 5 knowledge-base application (:mod:`repro.kb`):
-  weakly/restrictedly guarded TGDs and certain-answer computation.
+  weakly/restrictedly guarded TGDs and certain-answer computation;
+* a batch chase service (:mod:`repro.service`): declarative jobs with
+  content fingerprints, an LRU result/report cache, a
+  persistent-worker pool and termination-aware scheduling
+  (``repro batch`` / ``repro serve``).
 
 Quickstart::
 
@@ -44,6 +48,8 @@ from repro.kb import (certain_answers, is_restrictedly_guarded,
 from repro.lang import (Atom, Constant, EGD, Instance, Null, parse_constraint,
                         parse_constraints, parse_instance, parse_query,
                         Position, Schema, TGD, Variable)
+from repro.service import (BatchScheduler, ChaseJob, JobResult,
+                           ServiceCache, WorkerPool)
 from repro.storage import (ColumnStore, FactStore, SetStore, TermTable,
                            backend_names)
 from repro.termination import (analyze, chase_strata, check,
@@ -67,5 +73,6 @@ __all__ = [
     "is_c_stratified", "is_inductively_restricted", "is_safe",
     "is_stratified", "is_weakly_acyclic", "stratified_strategy", "t_level",
     "TerminationReport", "ColumnStore", "FactStore", "SetStore",
-    "TermTable", "backend_names", "__version__",
+    "TermTable", "backend_names", "BatchScheduler", "ChaseJob",
+    "JobResult", "ServiceCache", "WorkerPool", "__version__",
 ]

@@ -19,8 +19,15 @@ class ChaseStatus(enum.Enum):
         An EGD step tried to equate two distinct constants: the chase
         result is undefined (Section 2).
     ``EXCEEDED_BUDGET``
-        The step budget ran out before a fixpoint was reached; no
-        statement about termination can be made.
+        The step (or fact) budget ran out before a fixpoint was
+        reached; no statement about termination can be made.  The
+        outcome is a deterministic function of the inputs, so it is
+        safe to cache (see :mod:`repro.service.cache`).
+    ``EXCEEDED_WALL_CLOCK``
+        The wall-clock budget ran out.  Like ``EXCEEDED_BUDGET`` no
+        termination statement can be made, but the cut point depends
+        on machine speed, so the outcome is *not* deterministic and
+        must never be cached or cross-validated step-for-step.
     ``ABORTED_BY_MONITOR``
         A monitored chase (Section 4.2) hit its k-cyclicity limit.
     """
@@ -28,7 +35,23 @@ class ChaseStatus(enum.Enum):
     TERMINATED = "terminated"
     FAILED = "failed"
     EXCEEDED_BUDGET = "exceeded_budget"
+    EXCEEDED_WALL_CLOCK = "exceeded_wall_clock"
     ABORTED_BY_MONITOR = "aborted_by_monitor"
+
+    @property
+    def is_budget_abort(self) -> bool:
+        """Did a resource budget (steps, facts or wall clock) end the
+        run?  Budget aborts are recoverable: re-running with a larger
+        budget may still terminate."""
+        return self in (ChaseStatus.EXCEEDED_BUDGET,
+                        ChaseStatus.EXCEEDED_WALL_CLOCK)
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Is the outcome a pure function of (instance, sigma,
+        strategy, budgets)?  Wall-clock aborts are timing-dependent;
+        everything else replays identically."""
+        return self is not ChaseStatus.EXCEEDED_WALL_CLOCK
 
 
 @dataclass

@@ -2,9 +2,15 @@
 
 ``chase`` repeatedly fires active triggers until either the instance
 satisfies the constraint set (``TERMINATED``), an EGD fails
-(``FAILED``), the step budget is exhausted (``EXCEEDED_BUDGET``) or an
-observer aborts the run (``ABORTED_BY_MONITOR``; see Section 4.2 of
-the paper and :mod:`repro.datadep.monitored_chase`).
+(``FAILED``), the step or fact budget is exhausted
+(``EXCEEDED_BUDGET``), the wall-clock budget is exhausted
+(``EXCEEDED_WALL_CLOCK``) or an observer aborts the run
+(``ABORTED_BY_MONITOR``; see Section 4.2 of the paper and
+:mod:`repro.datadep.monitored_chase`).  Every budget abort surfaces as
+a :class:`~repro.chase.result.ChaseResult` carrying the partial run --
+budgets never raise, so a divergent chase can be bounded and its
+prefix inspected (the operational face of the paper's termination
+guarantees; the batch service of :mod:`repro.service` relies on it).
 
 ``oblivious_chase`` fires every (constraint, body-homomorphism) pair
 exactly once regardless of satisfaction -- the variant underlying the
@@ -19,6 +25,7 @@ reference path used by the cross-validation tests.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.chase.result import ChaseResult, ChaseStatus
@@ -46,19 +53,61 @@ class AbortChase(Exception):
 DEFAULT_MAX_STEPS = 10_000
 
 
+class _Budget:
+    """Shared per-run budget bookkeeping (facts + wall clock).
+
+    ``check`` returns the abort result to hand back, or None to keep
+    going.  The step budget stays with the runner loops themselves
+    (their iteration counters double as step indices)."""
+
+    __slots__ = ("max_facts", "wall_clock", "deadline")
+
+    def __init__(self, max_facts: Optional[int],
+                 wall_clock: Optional[float]) -> None:
+        if max_facts is not None and max_facts < 0:
+            raise ValueError("max_facts must be non-negative")
+        if wall_clock is not None and wall_clock < 0:
+            raise ValueError("wall_clock must be non-negative")
+        self.max_facts = max_facts
+        self.wall_clock = wall_clock
+        self.deadline = (None if wall_clock is None
+                         else time.monotonic() + wall_clock)
+
+    def check(self, working: Instance, sequence: list,
+              steps: int) -> Optional[ChaseResult]:
+        if self.max_facts is not None and len(working) > self.max_facts:
+            return ChaseResult(
+                ChaseStatus.EXCEEDED_BUDGET, working, sequence,
+                failure_reason=(f"fact budget of {self.max_facts} exceeded "
+                                f"({len(working)} facts after {steps} steps)"))
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            return ChaseResult(
+                ChaseStatus.EXCEEDED_WALL_CLOCK, working, sequence,
+                failure_reason=(f"wall-clock budget of {self.wall_clock:g}s "
+                                f"exhausted after {steps} steps"))
+        return None
+
+
 def chase(instance: Instance, sigma: Iterable[Constraint],
           strategy: Optional[Strategy] = None,
           max_steps: int = DEFAULT_MAX_STEPS,
           copy: bool = True,
           nulls: NullFactory = NULLS,
           observers: Sequence[Observer] = (),
-          naive: bool = False) -> ChaseResult:
+          naive: bool = False,
+          max_facts: Optional[int] = None,
+          wall_clock: Optional[float] = None) -> ChaseResult:
     """Run the standard chase of ``instance`` with ``sigma`` (Section 2).
 
     The input instance is left untouched unless ``copy=False``.
     ``naive=True`` disables the incremental trigger index and
     re-enumerates all body homomorphisms on every selection (the
     pre-index reference behaviour, kept for cross-validation).
+
+    ``max_facts`` bounds the working instance size (abort status
+    ``EXCEEDED_BUDGET``, like the step budget); ``wall_clock`` bounds
+    the elapsed seconds (abort status ``EXCEEDED_WALL_CLOCK``).  Both
+    return the partial run instead of raising.
     """
     sigma = list(sigma)
     working = instance.copy() if copy else instance
@@ -75,11 +124,19 @@ def chase(instance: Instance, sigma: Iterable[Constraint],
         strategy.start(sigma, working)
         if attach is not None:
             attach(triggers)
+        budget = _Budget(max_facts, wall_clock)
         sequence: list[ChaseStep] = []
         for index in range(max_steps):
             selection = strategy.select(working)
             if selection is None:
                 return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+            # Budgets are checked only once an active trigger exists:
+            # an instance that already reached its fixpoint is
+            # TERMINATED no matter how large it is or how long the
+            # final satisfaction check took.
+            aborted = budget.check(working, sequence, index)
+            if aborted is not None:
+                return aborted
             constraint, assignment = selection
             try:
                 step = apply_step(working, constraint, assignment,
@@ -112,30 +169,39 @@ def oblivious_chase(instance: Instance, sigma: Iterable[Constraint],
                     copy: bool = True,
                     nulls: NullFactory = NULLS,
                     observers: Sequence[Observer] = (),
-                    naive: bool = False) -> ChaseResult:
+                    naive: bool = False,
+                    max_facts: Optional[int] = None,
+                    wall_clock: Optional[float] = None) -> ChaseResult:
     """Run the oblivious chase: every trigger fires exactly once
     (Section 3.3's chase variant).
 
     Triggers are identified by (constraint, body image); new facts
     create new triggers, so the run terminates only when no unfired
-    trigger remains or the budget runs out.  The incremental path
-    consumes the trigger queue directly -- the naive restart-
-    enumeration loop (``naive=True``) re-scans all homomorphisms after
-    every step.
+    trigger remains or a budget (steps, facts or wall clock) runs out.
+    The incremental path consumes the trigger queue directly -- the
+    naive restart-enumeration loop (``naive=True``) re-scans all
+    homomorphisms after every step.
     """
     if naive:
         return _oblivious_chase_naive(instance, sigma, max_steps, copy,
-                                      nulls, observers)
+                                      nulls, observers, max_facts,
+                                      wall_clock)
     sigma = list(sigma)
     working = instance.copy() if copy else instance
     triggers = TriggerIndex(sigma, working, oblivious=True)
     try:
+        budget = _Budget(max_facts, wall_clock)
         sequence: list[ChaseStep] = []
         index = 0
         while True:
             selection = triggers.pop_unfired()
             if selection is None:
                 return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+            # As in the standard chase: a drained trigger queue is
+            # TERMINATED; budgets only cut short runs with work left.
+            aborted = budget.check(working, sequence, index)
+            if aborted is not None:
+                return aborted
             constraint, assignment = selection
             if index >= max_steps:
                 return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working,
@@ -164,13 +230,16 @@ def _oblivious_chase_naive(instance: Instance, sigma: Iterable[Constraint],
                            max_steps: int = DEFAULT_MAX_STEPS,
                            copy: bool = True,
                            nulls: NullFactory = NULLS,
-                           observers: Sequence[Observer] = ()) -> ChaseResult:
+                           observers: Sequence[Observer] = (),
+                           max_facts: Optional[int] = None,
+                           wall_clock: Optional[float] = None) -> ChaseResult:
     """Reference oblivious chase: restart full enumeration per step."""
     sigma = list(sigma)
     working = instance.copy() if copy else instance
     # Fired-trigger keys are (constraint, interned assignment) pairs --
     # like the trigger index, the cache never hashes a boxed term.
     table = working.term_table
+    budget = _Budget(max_facts, wall_clock)
     fired: set[tuple] = set()
     sequence: list[ChaseStep] = []
     index = 0
@@ -192,6 +261,12 @@ def _oblivious_chase_naive(instance: Instance, sigma: Iterable[Constraint],
                 if index >= max_steps:
                     return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working,
                                        sequence)
+                # A trigger is about to fire: budgets apply now (a
+                # drained enumeration instead falls through to
+                # TERMINATED regardless of instance size or time).
+                aborted = budget.check(working, sequence, index)
+                if aborted is not None:
+                    return aborted
                 try:
                     step = apply_step(working, constraint, assignment,
                                       index=index, oblivious=True,

@@ -10,6 +10,12 @@ Commands
     Emit the corresponding graph as Graphviz DOT.
 ``optimize FILE --query 'ans(x) <- ...'``
     Run the Section 4 SQO pipeline on a query.
+``batch DIR``
+    Run every ``*.json`` chase job under DIR through the batch
+    scheduler (parallel workers, fingerprint cache, budget caps).
+``serve``
+    Line-oriented service loop: one job JSON per stdin line, one
+    result JSON per stdout line, with a warm cache across requests.
 
 Constraint files use the library's text format (see
 :mod:`repro.lang.parser`), e.g.::
@@ -62,6 +68,86 @@ def cmd_chase(args) -> int:
     print(f"status: {result.status.value} ({len(result.sequence)} steps)")
     print(result.instance.render())
     return 0 if result.status is ChaseStatus.TERMINATED else 1
+
+
+def _load_jobs(path: Path):
+    from repro.service import ChaseJob
+    if path.is_dir():
+        job_files = sorted(path.glob("*.json"))
+        if not job_files:
+            raise ReproError(f"no *.json job files under {path}")
+    elif path.exists():
+        job_files = [path]
+    else:
+        raise ReproError(f"no such job file or directory: {path}")
+    return [ChaseJob.from_path(job_file) for job_file in job_files]
+
+
+def _make_scheduler(args, workers: int):
+    from repro.service import BatchScheduler, ServiceCache
+    on_event = None
+    if getattr(args, "events", False):
+        def on_event(event):
+            print(event.render(), file=sys.stderr)
+    cache = ServiceCache(result_size=0 if args.no_cache else 256)
+    return BatchScheduler(workers=workers, cache=cache, on_event=on_event,
+                          unknown_step_cap=args.step_cap,
+                          default_hard_timeout=args.hard_timeout,
+                          progress_every=args.progress_every)
+
+
+def cmd_batch(args) -> int:
+    import json as _json
+    jobs = _load_jobs(Path(args.jobs))
+    scheduler = _make_scheduler(args, workers=args.workers)
+    try:
+        results = scheduler.run_batch(jobs)
+    finally:
+        scheduler.close()
+    for result in results:
+        if args.json:
+            print(_json.dumps(result.to_dict(), sort_keys=True))
+        else:
+            print(result.describe())
+    completed = sum(1 for r in results if r.ok)
+    cached = sum(1 for r in results if r.cached)
+    terminated = sum(1 for r in results if r.terminated)
+    print(f"batch: {len(results)} jobs, {completed} completed "
+          f"({terminated} terminated), {cached} from cache, "
+          f"{len(results) - completed} killed/errored", file=sys.stderr)
+    return 0 if completed == len(results) else 1
+
+
+def cmd_serve(args) -> int:
+    """One job JSON per input line -> one result JSON per output line.
+
+    The loop keeps a warm fingerprint cache for its whole lifetime, so
+    repeated requests are answered without re-chasing.  ``quit`` (or
+    EOF) ends the session.
+    """
+    import json as _json
+    from repro.service import ChaseJob
+    scheduler = _make_scheduler(args, workers=args.workers)
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            if line in ("quit", "exit"):
+                break
+            try:
+                job = ChaseJob.from_dict(_json.loads(line))
+                result = scheduler.run_one(job)
+                payload = result.to_dict()
+            except Exception as exc:              # noqa: BLE001
+                # One malformed request (wrong-typed fields included)
+                # must never take down the long-lived serve loop.
+                payload = {"status": "error",
+                           "failure_reason": f"{type(exc).__name__}: {exc}"}
+            print(_json.dumps(payload, sort_keys=True), flush=True)
+    finally:
+        scheduler.close()
+    return 0
 
 
 def cmd_graph(args) -> int:
@@ -129,6 +215,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--query", required=True)
     p.add_argument("--cycle-limit", type=int, default=3)
     p.set_defaults(func=cmd_optimize)
+
+    def service_options(p):
+        p.add_argument("--events", action="store_true",
+                       help="stream progress events to stderr")
+        p.add_argument("--progress-every", type=int, default=0,
+                       metavar="N",
+                       help="with --events: also emit a progress event "
+                            "every N chase steps (0 = off)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the fingerprint result cache")
+        p.add_argument("--step-cap", type=int, default=10_000,
+                       help="step-budget cap for jobs whose termination "
+                            "is unknown (default 10000)")
+        p.add_argument("--hard-timeout", type=float, default=None,
+                       help="kill deadline in seconds for jobs without "
+                            "a wall_clock budget (default: never)")
+
+    p = sub.add_parser("batch",
+                       help="run a directory of chase job files")
+    p.add_argument("jobs", help="directory of *.json job files "
+                                "(or a single job file)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--json", action="store_true",
+                   help="emit one result JSON per line instead of text")
+    service_options(p)
+    p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser("serve",
+                       help="serve jobs from stdin (one JSON per line)")
+    p.add_argument("--workers", type=int, default=1)
+    service_options(p)
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -11,7 +11,7 @@ null-creation loop instead of after an arbitrary step budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.chase.result import ChaseResult, ChaseStatus
 from repro.chase.runner import AbortChase, chase, DEFAULT_MAX_STEPS
@@ -20,6 +20,7 @@ from repro.chase.strategies import Strategy
 from repro.datadep.monitor import MonitorGraph
 from repro.lang.constraints import Constraint
 from repro.lang.instance import Instance
+from repro.lang.terms import NullFactory, NULLS
 
 
 @dataclass
@@ -47,12 +48,20 @@ def monitored_chase(instance: Instance, sigma: Iterable[Constraint],
                     cycle_limit: int,
                     strategy: Optional[Strategy] = None,
                     max_steps: int = DEFAULT_MAX_STEPS,
-                    naive: bool = False) -> MonitoredChaseResult:
+                    naive: bool = False,
+                    observers: Sequence = (),
+                    max_facts: Optional[int] = None,
+                    wall_clock: Optional[float] = None,
+                    nulls: Optional[NullFactory] = None
+                    ) -> MonitoredChaseResult:
     """Chase ``instance`` with ``sigma``, aborting as soon as the
     monitor graph becomes ``cycle_limit``-cyclic (Section 4.2).
 
     ``naive=True`` forwards to the runner's naive trigger enumeration
-    (see :func:`repro.chase.runner.chase`)."""
+    (see :func:`repro.chase.runner.chase`).  Extra ``observers`` run
+    after the monitor on every step -- the hook the batch service of
+    :mod:`repro.service` uses to stream progress events; ``max_facts``
+    / ``wall_clock`` forward to the runner's budget checks."""
     if cycle_limit < 1:
         raise ValueError("cycle_limit must be at least 1")
     monitor = MonitorGraph()
@@ -65,7 +74,9 @@ def monitored_chase(instance: Instance, sigma: Iterable[Constraint],
                 f"{step.index}")
 
     result = chase(instance, sigma, strategy=strategy, max_steps=max_steps,
-                   observers=(observer,), naive=naive)
+                   observers=(observer, *observers), naive=naive,
+                   max_facts=max_facts, wall_clock=wall_clock,
+                   nulls=nulls if nulls is not None else NULLS)
     return MonitoredChaseResult(result=result, monitor=monitor,
                                 cycle_limit=cycle_limit)
 

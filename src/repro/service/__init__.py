@@ -1,0 +1,45 @@
+"""The batch chase service layer (above every other layer).
+
+:mod:`repro.service` turns the single-run chase engine into a small
+multi-request execution service -- the operational face of the paper's
+termination guarantees: a request whose constraint set is provably
+terminating can run unguarded, everything else runs behind explicit
+step/fact/wall-clock budgets, and identical requests are answered from
+a fingerprint-keyed cache without re-executing anything.
+
+* :mod:`repro.service.serialize` -- stable wire encoding of terms,
+  facts, instances and results (the only representation that crosses a
+  process boundary);
+* :mod:`repro.service.jobs` -- the declarative :class:`ChaseJob` spec
+  with canonical content fingerprints over interned term/fact ids,
+  plus in-process execution;
+* :mod:`repro.service.cache` -- bounded LRU caches for job results and
+  termination reports;
+* :mod:`repro.service.pool` -- a ``multiprocessing`` worker pool with
+  per-job hard timeouts, cancellation and graceful degradation to
+  in-process execution;
+* :mod:`repro.service.scheduler` -- the batch scheduler: consults the
+  cached :class:`~repro.termination.report.TerminationReport` to pick
+  a strategy, runs guaranteed-terminating jobs ahead of budget-capped
+  unknown ones, and streams progress events.
+
+CLI entry points: ``repro batch <dir>`` and ``repro serve``.
+"""
+
+from repro.service.cache import LRUCache, ServiceCache
+from repro.service.jobs import (ChaseJob, execute_job, instance_fingerprint,
+                                JobResult, ProgressEvent, resolve_strategy,
+                                STATUS_ERROR, STATUS_KILLED)
+from repro.service.pool import WorkerPool
+from repro.service.scheduler import BatchScheduler
+from repro.service.serialize import (decode_atom, decode_instance,
+                                     decode_result, encode_atom,
+                                     encode_instance, encode_result)
+
+__all__ = [
+    "BatchScheduler", "ChaseJob", "execute_job", "instance_fingerprint",
+    "JobResult", "LRUCache", "ProgressEvent", "resolve_strategy",
+    "ServiceCache", "STATUS_ERROR", "STATUS_KILLED", "WorkerPool",
+    "decode_atom", "decode_instance", "decode_result", "encode_atom",
+    "encode_instance", "encode_result",
+]

@@ -1,0 +1,394 @@
+"""Declarative chase jobs, content fingerprints and job execution.
+
+A :class:`ChaseJob` is the unit of work of the batch service: a
+constraint set, an input instance, a strategy spec and explicit
+budgets.  Jobs are plain declarative data -- they can be written as
+JSON files (``repro batch``), streamed over stdin (``repro serve``) or
+built programmatically -- and every job has a canonical **content
+fingerprint**: a SHA-256 digest computed over the interned term/fact
+ids of its instance (via a fresh :class:`repro.storage.interning.TermTable`
+filled in canonical fact order) together with the rendered constraint
+list and every outcome-relevant knob.  Two jobs with equal
+fingerprints are guaranteed to produce identical results, which is
+what makes the fingerprint a sound cache key
+(:mod:`repro.service.cache`).
+
+The **wall-clock budget is deliberately excluded** from the
+fingerprint: it can only change the outcome into the timing-dependent
+``EXCEEDED_WALL_CLOCK`` status, which is never cached, so a cached
+deterministic result remains valid for any wall-clock setting (and is
+always faster than re-running).
+
+Execution (:func:`execute_job`) is deterministic per job: every run
+uses a private :class:`~repro.lang.terms.NullFactory` starting at 1,
+so the same job yields byte-identical encoded results no matter which
+worker process -- or how many sibling jobs -- ran it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.chase.result import ChaseStatus
+from repro.chase.runner import chase, DEFAULT_MAX_STEPS
+from repro.chase.strategies import (OrderedStrategy, RandomStrategy,
+                                    RoundRobinStrategy, Strategy)
+from repro.datadep.monitored_chase import monitored_chase
+from repro.lang.constraints import Constraint
+from repro.lang.errors import ReproError
+from repro.lang.instance import Instance
+from repro.lang.parser import (_render_constraint_body, parse_atoms,
+                               parse_constraints, render_constraints)
+from repro.lang.terms import NullFactory
+from repro.service.serialize import (atom_sort_key, decode_atom,
+                                     encode_facts, encode_instance,
+                                     encode_term, WireError)
+from repro.storage.interning import TermTable
+
+#: Non-chase job outcomes (the pool synthesizes these).
+STATUS_KILLED = "killed"
+STATUS_ERROR = "error"
+
+#: Chase statuses whose outcome is a pure function of the job spec --
+#: the only ones the result cache may store.
+_DETERMINISTIC_STATUSES = frozenset(
+    s.value for s in ChaseStatus if s.is_deterministic)
+
+_STRATEGY_NAMES = ("auto", "ordered", "round_robin", "random", "stratified")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One streaming event of a batch run (see the scheduler docs)."""
+
+    kind: str          # queued|started|progress|finished|cached|killed|...
+    job: str           # job name
+    detail: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.kind}] {self.job}" + (f" {extras}" if extras else "")
+
+
+def instance_fingerprint(instance: Instance) -> str:
+    """Canonical content digest of an instance over interned ids.
+
+    Facts are sorted canonically, their terms interned into a fresh
+    :class:`TermTable` in first-occurrence order, and the digest is
+    taken over both the id-level fact rows *and* the id -> term
+    decoding table -- so the fingerprint depends on exactly the
+    instance content, never on backend, insertion order or interning
+    history of the live store.
+    """
+    table = TermTable()
+    rows: List[list] = []
+    for fact in sorted(instance, key=atom_sort_key):
+        rows.append([fact.relation,
+                     [table.intern(term) for term in fact.args]])
+    terms = [encode_term(table.term(tid)) for tid in range(len(table))]
+    payload = json.dumps({"terms": terms, "rows": rows},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def resolve_strategy(spec: Optional[str],
+                     sigma: List[Constraint],
+                     max_k: int = 3) -> Optional[Strategy]:
+    """Build a strategy object from a declarative spec string.
+
+    ``ordered`` / ``round_robin`` / ``random[:seed]`` / ``stratified``
+    map to the corresponding :mod:`repro.chase.strategies` classes.
+    ``auto`` (or None) consults the memoized termination report: for
+    sets where every order terminates the default round-robin is kept
+    (returns None); for merely stratified sets Theorem 2's stratum
+    order is required and returned; otherwise no strategy can help and
+    the default is kept (budgets must bound the run).
+    """
+    if spec is None or spec == "auto":
+        from repro.termination.report import analyze
+        return analyze(sigma, max_k=max_k).recommended_strategy()
+    name, _, arg = spec.partition(":")
+    if name == "ordered":
+        return OrderedStrategy()
+    if name == "round_robin":
+        return RoundRobinStrategy()
+    if name == "random":
+        return RandomStrategy(seed=int(arg) if arg else 0)
+    if name == "stratified":
+        from repro.termination.stratification import stratified_strategy
+        return stratified_strategy(sigma)
+    raise ValueError(f"unknown strategy spec {spec!r} "
+                     f"(expected one of {_STRATEGY_NAMES})")
+
+
+@dataclass(frozen=True)
+class ChaseJob:
+    """A declarative chase request.
+
+    ``strategy`` is a spec string (see :func:`resolve_strategy`);
+    ``backend`` overrides the instance's fact-store backend;
+    ``max_steps``/``max_facts``/``wall_clock`` are the budgets
+    forwarded to the runner; ``cycle_limit`` > 0 arms the Section 4.2
+    monitor; ``max_k`` bounds the termination probe used by ``auto``
+    strategy resolution and by the scheduler.
+    """
+
+    name: str
+    sigma: Tuple[Constraint, ...]
+    instance: Instance
+    strategy: str = "auto"
+    backend: Optional[str] = None
+    max_steps: int = DEFAULT_MAX_STEPS
+    max_facts: Optional[int] = None
+    wall_clock: Optional[float] = None
+    cycle_limit: int = 0
+    max_k: int = 3
+
+    # -- canonical content fingerprint ---------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 content fingerprint of every outcome-relevant field.
+
+        Constraints are digested in *listed order* (strategies iterate
+        them in order, so order changes the executed sequence), the
+        instance through :func:`instance_fingerprint`, plus strategy,
+        effective backend and the deterministic budgets.  The job name
+        and the wall-clock budget (timing-only, see module docs) are
+        excluded.
+
+        The digest is memoized on the (frozen) job -- the scheduler,
+        cache and pool all key on it, and the canonical sort +
+        re-intern pass over a large instance is worth paying once.
+        """
+        memo = self.__dict__.get("_fingerprint")
+        if memo is not None:
+            return memo
+        # Labels are rendered for humans but never affect execution
+        # (constraint equality ignores them too), so the fingerprint
+        # digests the label-free canonical bodies in listed order.
+        payload = json.dumps({
+            "v": 1,
+            "sigma": [_render_constraint_body(c) for c in self.sigma],
+            "instance": instance_fingerprint(self.instance),
+            "strategy": self.strategy,
+            "backend": self.backend or self.instance.backend,
+            "max_steps": self.max_steps,
+            "max_facts": self.max_facts,
+            "cycle_limit": self.cycle_limit,
+            "max_k": self.max_k,
+        }, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
+
+    # -- wire form ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A lossless JSON-able encoding (the pool's wire format)."""
+        return {
+            "name": self.name,
+            "constraints": render_constraints(self.sigma),
+            "instance": encode_instance(self.instance),
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "max_steps": self.max_steps,
+            "max_facts": self.max_facts,
+            "wall_clock": self.wall_clock,
+            "cycle_limit": self.cycle_limit,
+            "max_k": self.max_k,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, name: Optional[str] = None
+                  ) -> "ChaseJob":
+        """Build a job from a spec dict (job file, stdin line or wire).
+
+        ``constraints`` is constraint text; ``instance`` is either
+        instance text (bare identifiers are constants, ``?n7`` nulls)
+        or the wire dict of :func:`repro.service.serialize.encode_instance`.
+        """
+        if not isinstance(payload, dict):
+            raise WireError(f"job spec must be an object, got {payload!r}")
+        try:
+            constraints = payload["constraints"]
+            raw_instance = payload["instance"]
+        except KeyError as missing:
+            raise WireError(f"job spec misses key {missing}") from None
+        if isinstance(constraints, (list, tuple)):
+            constraints = "\n".join(constraints)
+        sigma = tuple(parse_constraints(constraints))
+        backend = payload.get("backend")
+        if isinstance(raw_instance, dict):
+            instance = Instance(
+                (decode_atom(fact) for fact in raw_instance["facts"]),
+                backend=backend or raw_instance.get("backend"))
+        else:
+            instance = Instance(parse_atoms(raw_instance,
+                                            instance_mode=True),
+                                backend=backend)
+        def given(key, default, convert):
+            value = payload.get(key)
+            return default if value is None else convert(value)
+
+        return cls(
+            name=payload.get("name") or name or "job",
+            sigma=sigma,
+            instance=instance,
+            strategy=given("strategy", "auto", str),
+            backend=backend,
+            max_steps=given("max_steps", DEFAULT_MAX_STEPS, int),
+            max_facts=given("max_facts", None, int),
+            wall_clock=given("wall_clock", None, float),
+            cycle_limit=given("cycle_limit", 0, int),
+            max_k=given("max_k", 3, int),
+        )
+
+    @classmethod
+    def from_path(cls, path) -> "ChaseJob":
+        """Load a job from a JSON file (name defaults to the stem)."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise WireError(f"{path}: invalid job JSON ({exc})") from exc
+        return cls.from_dict(payload, name=path.stem)
+
+    def with_updates(self, **changes) -> "ChaseJob":
+        """A copy with the given fields replaced (scheduler rewrites)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class JobResult:
+    """The outcome of one job, in wire-safe form.
+
+    ``status`` is a :class:`ChaseStatus` value, ``"killed"`` (the pool
+    enforced a hard timeout or a cancellation) or ``"error"`` (the job
+    raised).  ``facts`` is the canonical encoding of the final
+    instance (None for killed/error jobs).
+    """
+
+    job: str
+    fingerprint: str
+    status: str
+    steps: int = 0
+    new_nulls: int = 0
+    facts: Optional[List[list]] = None
+    failure_reason: Optional[str] = None
+    elapsed: float = 0.0
+    cached: bool = False
+    worker: str = "inproc"
+
+    @property
+    def ok(self) -> bool:
+        """Did the job complete a chase run (any chase status)?"""
+        return self.status not in (STATUS_KILLED, STATUS_ERROR)
+
+    @property
+    def terminated(self) -> bool:
+        return self.status == ChaseStatus.TERMINATED.value
+
+    @property
+    def cacheable(self) -> bool:
+        """May this result be served for an equal fingerprint later?
+        Only deterministic chase outcomes qualify -- wall-clock aborts,
+        kills and errors depend on timing, not content."""
+        return self.status in _DETERMINISTIC_STATUSES
+
+    def instance(self) -> Optional[Instance]:
+        """Decode the final instance (None for killed/error jobs)."""
+        if self.facts is None:
+            return None
+        return Instance(decode_atom(fact) for fact in self.facts)
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job, "fingerprint": self.fingerprint,
+            "status": self.status, "steps": self.steps,
+            "new_nulls": self.new_nulls, "facts": self.facts,
+            "failure_reason": self.failure_reason,
+            "elapsed": self.elapsed, "cached": self.cached,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobResult":
+        return cls(**payload)
+
+    def describe(self) -> str:
+        origin = "cache" if self.cached else self.worker
+        reason = f" ({self.failure_reason})" if self.failure_reason else ""
+        return (f"{self.job}: {self.status} after {self.steps} steps, "
+                f"{len(self.facts or [])} facts, {self.elapsed:.3f}s "
+                f"[{origin}]{reason}")
+
+
+EventCallback = Callable[[ProgressEvent], None]
+
+
+def execute_job(job: ChaseJob,
+                on_event: Optional[EventCallback] = None,
+                progress_every: int = 0,
+                worker: str = "inproc") -> JobResult:
+    """Run ``job`` in this process and return its wire-safe result.
+
+    Deterministic by construction: a private null factory (labels
+    restart at 1 per job) plus seeded strategies mean the encoded
+    result depends only on the job content *within one process tree*
+    -- iteration orders (and hence which trigger gets which null
+    label) depend on the interpreter's string-hash seed, which is why
+    the worker pool forks its workers (inheriting the seed) instead of
+    spawning them.  Across different seeds, results for equal
+    fingerprints are still equal up to null renaming.  This is the
+    invariant behind both the fingerprint cache (in-memory, so never
+    shared across seeds) and the parallel-vs-sequential
+    cross-validation tests.  Exceptions never propagate; they surface
+    as ``status="error"`` results so one bad job cannot take down a
+    batch (or a worker pool's collection loop).
+    """
+    started = time.perf_counter()
+    fingerprint = job.fingerprint()
+    try:
+        sigma = list(job.sigma)
+        instance = job.instance
+        if job.backend and instance.backend != job.backend:
+            instance = Instance(instance, backend=job.backend)
+        strategy = resolve_strategy(job.strategy, sigma, max_k=job.max_k)
+        observers = []
+        if on_event is not None and progress_every > 0:
+            def progress(step, working):
+                if (step.index + 1) % progress_every == 0:
+                    on_event(ProgressEvent(
+                        "progress", job.name,
+                        {"steps": step.index + 1, "facts": len(working)}))
+            observers.append(progress)
+        nulls = NullFactory()
+        if job.cycle_limit > 0:
+            result = monitored_chase(
+                instance, sigma, job.cycle_limit, strategy=strategy,
+                max_steps=job.max_steps, observers=observers,
+                max_facts=job.max_facts, wall_clock=job.wall_clock,
+                nulls=nulls).result
+        else:
+            result = chase(instance, sigma, strategy=strategy,
+                           max_steps=job.max_steps, observers=observers,
+                           max_facts=job.max_facts,
+                           wall_clock=job.wall_clock, nulls=nulls)
+        return JobResult(
+            job=job.name, fingerprint=fingerprint,
+            status=result.status.value, steps=result.length,
+            new_nulls=result.new_null_count(),
+            facts=encode_facts(result.instance),
+            failure_reason=result.failure_reason,
+            elapsed=time.perf_counter() - started, worker=worker)
+    except ReproError as exc:
+        reason = str(exc)
+    except Exception:                                 # noqa: BLE001
+        reason = traceback.format_exc(limit=8)
+    return JobResult(job=job.name, fingerprint=fingerprint,
+                     status=STATUS_ERROR, failure_reason=reason,
+                     elapsed=time.perf_counter() - started, worker=worker)

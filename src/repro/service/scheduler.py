@@ -1,0 +1,213 @@
+"""Budgeted batch scheduling of chase jobs.
+
+The scheduler is where the paper's termination theory becomes an
+operational policy.  For every job it consults the (cached)
+:class:`~repro.termination.report.TerminationReport` of the job's
+constraint set and derives:
+
+* a **strategy** -- jobs with ``strategy="auto"`` keep the default
+  order when every chase sequence is bounded (Theorems 3/5/6/7), get
+  Theorem 2's stratum order when the set is merely stratified, and
+  otherwise stay on the default but **must** be budget-capped;
+* a **priority class** -- jobs whose constraint sets guarantee
+  termination are scheduled ahead of unknown ones, so a batch's
+  guaranteed work is never starved behind divergence suspects burning
+  their budgets;
+* a **budget cap** -- an unknown job whose step budget exceeds
+  ``unknown_step_cap`` is clamped (with an event, never silently), so
+  a single divergent request has bounded blast radius even before the
+  pool's hard timeout.
+
+Before dispatch, every job is looked up in the fingerprint cache --
+warm hits are answered without executing anything.  Results with
+deterministic outcomes are stored back, so re-running a batch is O(1)
+per previously-seen job.
+
+Progress streams through :class:`~repro.service.jobs.ProgressEvent`
+callbacks: ``queued`` (with the scheduling verdict), ``cached``,
+``started`` / ``progress`` / ``finished`` (from the pool and the
+runner's observer hooks), ``killed`` and ``degraded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.chase.strategies import StratifiedStrategy
+from repro.service.cache import ServiceCache
+from repro.service.jobs import (ChaseJob, EventCallback, JobResult,
+                                ProgressEvent, STATUS_ERROR)
+from repro.service.pool import WorkerPool
+from repro.termination.report import TerminationReport
+
+#: Step cap imposed on jobs whose termination is unknown.
+DEFAULT_UNKNOWN_STEP_CAP = 10_000
+
+
+class BatchScheduler:
+    """Schedule and run a batch of chase jobs.
+
+    ``workers``/``force_inprocess``/``default_hard_timeout``/
+    ``progress_every`` configure the :class:`WorkerPool`; ``cache`` is
+    shared across batches when provided (a server owns one for its
+    lifetime).  ``unknown_step_cap`` bounds the step budget of jobs
+    whose constraint set guarantees nothing (set to None to trust job
+    budgets as-is).
+    """
+
+    def __init__(self, workers: int = 2,
+                 cache: Optional[ServiceCache] = None,
+                 on_event: Optional[EventCallback] = None,
+                 unknown_step_cap: Optional[int] = DEFAULT_UNKNOWN_STEP_CAP,
+                 default_hard_timeout: Optional[float] = None,
+                 progress_every: int = 0,
+                 force_inprocess: bool = False) -> None:
+        self.cache = cache if cache is not None else ServiceCache()
+        self.on_event = on_event
+        self.unknown_step_cap = unknown_step_cap
+        self.pool = WorkerPool(workers=workers,
+                               default_hard_timeout=default_hard_timeout,
+                               progress_every=progress_every,
+                               force_inprocess=force_inprocess)
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: ProgressEvent) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def plan_job(self, job: ChaseJob) -> Tuple[ChaseJob, TerminationReport,
+                                               bool]:
+        """Resolve one job against its termination report.
+
+        Returns ``(rewritten job, report, guaranteed)`` where
+        ``guaranteed`` means some checked condition promises a
+        terminating sequence for the strategy the job will run.
+        """
+        report = self.cache.report_for(job.sigma, max_k=job.max_k)
+        if job.strategy == "auto":
+            # Pin the concrete strategy now so the fingerprint (and
+            # hence the cache key) reflects what actually runs, and so
+            # worker processes skip re-resolving.  The policy itself
+            # lives in TerminationReport.recommended_strategy() -- the
+            # same source resolve_strategy("auto") consults.
+            recommended = report.recommended_strategy()
+            job = job.with_updates(
+                strategy="stratified"
+                if isinstance(recommended, StratifiedStrategy)
+                else "round_robin")
+        if job.strategy == "stratified" and not report.stratified:
+            raise ValueError(f"job {job.name!r} requests the stratified "
+                             "strategy but its constraint set is not "
+                             "stratified")
+        guaranteed = bool(report.guarantees_all_sequences
+                          or (report.stratified
+                              and job.strategy == "stratified"))
+        if not guaranteed and self.unknown_step_cap is not None \
+                and job.max_steps > self.unknown_step_cap:
+            job = job.with_updates(max_steps=self.unknown_step_cap)
+        return job, report, guaranteed
+
+    # ------------------------------------------------------------------
+    def run_batch(self, jobs: Sequence[ChaseJob],
+                  should_cancel: Optional[Callable[[], bool]] = None
+                  ) -> List[JobResult]:
+        """Plan, cache-check, execute and collect a batch.
+
+        Results come back in the *input* order regardless of the
+        execution order (guaranteed-first) and of which results were
+        answered from the cache.
+        """
+        planned: List[Tuple[int, ChaseJob, bool]] = []
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            try:
+                job, report, guaranteed = self.plan_job(job)
+            except Exception as exc:                  # noqa: BLE001
+                results[index] = JobResult(
+                    job=job.name, fingerprint="", status=STATUS_ERROR,
+                    failure_reason=f"planning failed: {exc}")
+                self._emit(ProgressEvent("finished", job.name,
+                                         {"status": STATUS_ERROR}))
+                continue
+            self._emit(ProgressEvent("queued", job.name, {
+                "guaranteed": guaranteed,
+                "strategy": job.strategy,
+                "max_steps": job.max_steps,
+                "report": report.fingerprint()[:12],
+            }))
+            hit = self.cache.lookup_result(job)
+            if hit is not None:
+                results[index] = hit
+                self._emit(ProgressEvent("cached", job.name,
+                                         {"status": hit.status,
+                                          "steps": hit.steps}))
+                continue
+            planned.append((index, job, guaranteed))
+        # Intra-batch dedup: jobs with equal fingerprints execute once
+        # and share the result (marked cached for the duplicates --
+        # unless the shared outcome turns out non-deterministic, in
+        # which case the duplicates run after all, below).  A disabled
+        # result cache (--no-cache) disables dedup too: the user asked
+        # for every job to really execute.
+        dedup = self.cache.results.maxsize > 0
+        first_of: dict = {}
+        duplicates: List[Tuple[int, ChaseJob, str]] = []
+        unique: List[Tuple[int, ChaseJob, bool]] = []
+        for index, job, guaranteed in planned:
+            fingerprint = job.fingerprint()
+            if dedup and fingerprint in first_of:
+                duplicates.append((index, job, fingerprint))
+            else:
+                first_of.setdefault(fingerprint, index)
+                unique.append((index, job, guaranteed))
+        # Guaranteed-terminating jobs first; stable within each class.
+        unique.sort(key=lambda item: 0 if item[2] else 1)
+        executed = self.pool.run([job for _, job, _ in unique],
+                                 on_event=self.on_event,
+                                 should_cancel=should_cancel)
+        by_index = {index: result
+                    for (index, _, _), result in zip(unique, executed)}
+        for index, result in by_index.items():
+            results[index] = result
+            self.cache.store_result(result)
+        retry: List[Tuple[int, ChaseJob]] = []
+        for index, job, fingerprint in duplicates:
+            source = by_index[first_of[fingerprint]]
+            if source.cacheable:
+                results[index] = replace(source, job=job.name, cached=True)
+                self._emit(ProgressEvent("cached", job.name,
+                                         {"status": source.status,
+                                          "via": source.job}))
+            else:
+                # The shared run ended in a timing-dependent state
+                # (killed, error, wall clock) -- replaying that for a
+                # job that never ran would be unsound, so execute it.
+                retry.append((index, job))
+        if retry:
+            rerun = self.pool.run([job for _, job in retry],
+                                  on_event=self.on_event,
+                                  should_cancel=should_cancel)
+            for (index, _), result in zip(retry, rerun):
+                results[index] = result
+                self.cache.store_result(result)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def run_one(self, job: ChaseJob,
+                should_cancel: Optional[Callable[[], bool]] = None
+                ) -> JobResult:
+        """Serve a single job through the same plan/cache/execute path
+        (the ``repro serve`` loop).  Worker processes persist across
+        calls; :meth:`close` releases them."""
+        return self.run_batch([job], should_cancel=should_cancel)[0]
+
+    def close(self) -> None:
+        """Release the pool's persistent worker processes."""
+        self.pool.close()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,126 @@
+"""Stable wire encoding of terms, facts, instances and chase results.
+
+Everything that crosses a process boundary in the service layer does
+so as plain JSON-able data produced here -- worker processes never
+pickle live ``Instance``/``ChaseResult`` objects (their fact stores
+carry listeners, posting lists and interning tables that have no
+business on a wire).  The encoding is *stable*: encoding the same
+content always yields the same bytes (facts are emitted in a canonical
+sort order), which is what makes the encodings usable as fingerprint
+payloads (:func:`repro.service.jobs.instance_fingerprint`).
+
+Term encoding is tagged so that constants and nulls -- and constants
+of different Python types -- never collide::
+
+    Constant("a")  ->  ["c", "a"]
+    Constant(7)    ->  ["c", 7]
+    Null(3)        ->  ["n", 3]
+
+An atom is ``[relation, [term, ...]]``; an instance is a dict carrying
+its backend name and the sorted fact list; a chase result carries the
+status, the final instance and summary statistics (the step sequence
+deliberately does not cross the wire -- it holds live constraint and
+assignment objects and is only consumed by in-process analyses).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Optional
+
+from repro.chase.result import ChaseResult, ChaseStatus
+from repro.lang.atoms import Atom
+from repro.lang.errors import ReproError
+from repro.lang.instance import Instance
+from repro.lang.terms import Constant, GroundTerm, Null
+
+
+class WireError(ReproError):
+    """Raised on malformed wire payloads or unencodable values."""
+
+
+def encode_term(term: GroundTerm) -> list:
+    """``["c", value]`` for constants, ``["n", label]`` for nulls."""
+    if isinstance(term, Constant):
+        if not isinstance(term.value, (str, int, float, bool)):
+            raise WireError(f"constant value {term.value!r} is not "
+                            "JSON-encodable")
+        return ["c", term.value]
+    if isinstance(term, Null):
+        return ["n", term.label]
+    raise WireError(f"cannot encode non-ground term {term!r}")
+
+
+def decode_term(payload: Any) -> GroundTerm:
+    # The isinstance guard matters: bare strings like "c7" would also
+    # unpack into two characters and decode silently wrong.
+    if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+        raise WireError(f"malformed term payload {payload!r}")
+    tag, value = payload
+    if tag == "c":
+        return Constant(value)
+    if tag == "n":
+        return Null(int(value))
+    raise WireError(f"unknown term tag {tag!r}")
+
+
+def encode_atom(fact: Atom) -> list:
+    """``[relation, [term, ...]]``."""
+    return [fact.relation, [encode_term(arg) for arg in fact.args]]
+
+
+def decode_atom(payload: Any) -> Atom:
+    if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+        raise WireError(f"malformed atom payload {payload!r}")
+    relation, args = payload
+    if not isinstance(args, (list, tuple)):
+        raise WireError(f"malformed atom payload {payload!r}")
+    return Atom(relation, tuple(decode_term(arg) for arg in args))
+
+
+def atom_sort_key(fact: Atom) -> str:
+    """A canonical, injective sort key for facts (used everywhere the
+    wire or a fingerprint needs a deterministic fact order)."""
+    return json.dumps(encode_atom(fact), sort_keys=True)
+
+
+def encode_facts(facts) -> List[list]:
+    """The facts of any iterable, in canonical order."""
+    return [encode_atom(fact)
+            for fact in sorted(facts, key=atom_sort_key)]
+
+
+def encode_instance(instance: Instance) -> dict:
+    """A stable dict encoding of an instance (backend + sorted facts)."""
+    return {"backend": instance.backend,
+            "facts": encode_facts(instance)}
+
+
+def decode_instance(payload: dict,
+                    backend: Optional[str] = None) -> Instance:
+    """Rebuild an instance; ``backend`` overrides the encoded one."""
+    if not isinstance(payload, dict) or "facts" not in payload:
+        raise WireError(f"malformed instance payload {payload!r}")
+    facts = [decode_atom(fact) for fact in payload["facts"]]
+    return Instance(facts, backend=backend or payload.get("backend"))
+
+
+def encode_result(result: ChaseResult) -> dict:
+    """Summary encoding of a chase result (no step sequence)."""
+    return {
+        "status": result.status.value,
+        "steps": result.length,
+        "new_nulls": result.new_null_count(),
+        "failure_reason": result.failure_reason,
+        "instance": encode_instance(result.instance),
+    }
+
+
+def decode_result(payload: dict) -> ChaseResult:
+    """Rebuild a (sequence-free) chase result from its encoding."""
+    if not isinstance(payload, dict) or "status" not in payload:
+        raise WireError(f"malformed result payload {payload!r}")
+    return ChaseResult(ChaseStatus(payload["status"]),
+                       decode_instance(payload["instance"]),
+                       sequence=(),
+                       failure_reason=payload.get("failure_reason"))

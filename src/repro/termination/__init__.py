@@ -12,7 +12,10 @@ from repro.termination.dependency_graph import (dependency_graph,
 from repro.termination.hierarchy import check, in_t_level, sub, t_level
 from repro.termination.precedence import (ORACLE, PrecedenceOracle, precedes,
                                           precedes_c, precedes_k, precedes_p)
-from repro.termination.report import analyze, CONDITIONS, TerminationReport
+from repro.termination.report import (analyze, analyze_cache_info,
+                                      clear_analyze_cache, CONDITIONS,
+                                      constraint_set_fingerprint,
+                                      TerminationReport)
 from repro.termination.restriction import (aff_cl, is_inductively_restricted,
                                            is_safely_restricted,
                                            minimal_restriction_system, part,
@@ -29,7 +32,9 @@ __all__ = [
     "topological_strata", "is_c_stratified", "non_weakly_acyclic_c_cycle",
     "dependency_graph", "has_special_cycle", "position_ranks", "check",
     "in_t_level", "sub", "t_level", "ORACLE", "PrecedenceOracle", "precedes",
-    "precedes_c", "precedes_k", "precedes_p", "analyze", "CONDITIONS",
+    "precedes_c", "precedes_k", "precedes_p", "analyze",
+    "analyze_cache_info", "clear_analyze_cache", "CONDITIONS",
+    "constraint_set_fingerprint",
     "TerminationReport", "aff_cl", "is_inductively_restricted",
     "is_safely_restricted", "minimal_restriction_system", "part",
     "RestrictionSystem", "is_safe", "propagation_graph", "safety_witness",

@@ -1,11 +1,22 @@
 """One-stop classification of a constraint set across every
 termination condition of Figure 1, plus a recommended chase policy.
+
+Reports are value objects: two reports over equal constraint sets
+(same constraints, same probe depth) compare and hash equal, and every
+report carries a stable content :meth:`~TerminationReport.fingerprint`
+derived from the canonical rendering of its constraint set.  On top of
+that, :func:`analyze` memoizes its classification per (constraint set,
+``max_k``, oracle) -- the Figure 1 sweep is pure, so repeated analyses
+of the same set (the common case in the batch service, where many jobs
+share one schema's constraints) cost one dictionary lookup.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from functools import lru_cache
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.lang.constraints import Constraint
 from repro.termination.cstratification import is_c_stratified
@@ -22,11 +33,32 @@ CONDITIONS = ("weakly_acyclic", "safe", "c_stratified", "stratified",
               "safely_restricted", "inductively_restricted")
 
 
-@dataclass
-class TerminationReport:
-    """Membership of one constraint set in each Figure 1 class."""
+def constraint_set_fingerprint(sigma: Iterable[Constraint]) -> str:
+    """A stable hex digest of a constraint set's *content*.
 
-    sigma: Sequence[Constraint]
+    The digest is computed over the sorted canonical renderings of the
+    constraints (see :func:`repro.lang.parser.render_constraints`), so
+    it is independent of constraint order and of labels' presence --
+    two textually different files describing the same set of TGDs/EGDs
+    fingerprint identically.  Used as the cache key for memoized
+    termination reports (here and in :mod:`repro.service.cache`).
+    """
+    from repro.lang.parser import _render_constraint_body
+    lines = sorted(_render_constraint_body(c) for c in sigma)
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class TerminationReport:
+    """Membership of one constraint set in each Figure 1 class.
+
+    Frozen value object: equality and hashing range over the
+    constraint set and every verdict, so reports can key caches
+    directly (the batch service memoizes analyses this way).
+    """
+
+    sigma: Tuple[Constraint, ...]
     weakly_acyclic: bool
     safe: bool
     stratified: bool
@@ -35,6 +67,13 @@ class TerminationReport:
     inductively_restricted: bool
     t_hierarchy_level: Optional[int]
     max_k_probed: int
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the analyzed constraint set plus the
+        probe depth (deeper probes can refine the T-hierarchy verdict,
+        so reports at different ``max_k`` must not collide)."""
+        return (f"{constraint_set_fingerprint(self.sigma)}"
+                f":k{self.max_k_probed}")
 
     @property
     def guarantees_all_sequences(self) -> bool:
@@ -97,8 +136,20 @@ def analyze(sigma: Iterable[Constraint], max_k: int = 3,
 
     ``max_k`` bounds the T-hierarchy probe (each level costs an
     |Sigma|^k sweep of chain queries).
+
+    The classification is pure, so results are memoized per
+    (constraint tuple, ``max_k``, oracle): re-analyzing a constraint
+    set already seen is O(1).  Use :func:`clear_analyze_cache` to drop
+    the memo (tests; long-lived processes analyzing unbounded numbers
+    of distinct sets should size their own cache, see
+    :mod:`repro.service.cache`).
     """
-    sigma = list(sigma)
+    return _analyze_cached(tuple(sigma), max_k, oracle)
+
+
+@lru_cache(maxsize=256)
+def _analyze_cached(sigma: Tuple[Constraint, ...], max_k: int,
+                    oracle: PrecedenceOracle) -> TerminationReport:
     return TerminationReport(
         sigma=sigma,
         weakly_acyclic=is_weakly_acyclic(sigma),
@@ -110,3 +161,13 @@ def analyze(sigma: Iterable[Constraint], max_k: int = 3,
         t_hierarchy_level=t_level(sigma, max_k, oracle),
         max_k_probed=max_k,
     )
+
+
+def clear_analyze_cache() -> None:
+    """Drop every memoized :func:`analyze` result."""
+    _analyze_cached.cache_clear()
+
+
+def analyze_cache_info():
+    """The memo's ``functools.lru_cache`` statistics (hits/misses)."""
+    return _analyze_cached.cache_info()

@@ -1,6 +1,9 @@
-"""Workloads: paper examples, parameterized families, generators."""
+"""Workloads: paper examples, parameterized families, generators,
+and batch job-spec generators for the service layer."""
 
-from repro.workloads import families, generators, paper, turing
+from repro.workloads import batch, families, generators, paper, turing
+from repro.workloads.batch import job_spec, mixed_batch_specs
 from repro.workloads.paper import NAMED_SETS
 
-__all__ = ["families", "generators", "paper", "turing", "NAMED_SETS"]
+__all__ = ["batch", "families", "generators", "paper", "turing",
+           "NAMED_SETS", "job_spec", "mixed_batch_specs"]

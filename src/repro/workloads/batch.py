@@ -1,0 +1,99 @@
+"""Batch job-spec generators for the service layer's bench and tests.
+
+Produces plain JSON-able job spec dicts (the input format of
+``repro batch`` and :meth:`repro.service.jobs.ChaseJob.from_dict`)
+drawn from the established workload families -- deliberately *specs*,
+not :class:`ChaseJob` objects, so this module stays below the service
+layer (workloads never import upward).
+
+A mixed batch interleaves four families:
+
+* ``chain``  -- full-TGD copy chains over path instances (weakly
+  acyclic, terminating, cheap);
+* ``safe``   -- Example 8/9's safe set over the ternary R/S schema
+  (Theorem 5, terminating, null-creating);
+* ``t3``     -- Figure 2's ``T[3]`` set over marked paths (Theorem 7);
+* ``divergent`` -- the Introduction's ``S(x) -> E(x,y), S(y)``
+  (terminates for no strategy; only budgets bound it).
+
+Every spec is deterministic in (``seed``, index), so two generations
+of the same batch fingerprint identically -- warm-cache behaviour is
+reproducible across processes and bench runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.lang.instance import Instance
+from repro.lang.parser import render_constraints
+from repro.workloads.families import (chain_instance, example9_instance,
+                                      full_tgd_chain,
+                                      special_nodes_instance)
+from repro.workloads.paper import example8_beta, figure2
+
+#: The cycling order of families in a mixed batch.
+FAMILIES = ("chain", "safe", "t3", "divergent")
+
+
+def render_instance(instance: Instance) -> str:
+    """The instance in the parser's text format (one fact per line).
+
+    Only valid for instances over identifier/number constants -- which
+    is all the workload families produce."""
+    return "\n".join(sorted(f"{fact}." for fact in instance))
+
+
+def job_spec(family: str, size: int, name: Optional[str] = None,
+             max_steps: int = 10_000, **overrides) -> dict:
+    """One job spec of the given family at the given instance size."""
+    if family == "chain":
+        sigma = full_tgd_chain(3)
+        instance = chain_instance(size, relation="R0")
+    elif family == "safe":
+        sigma = example8_beta()
+        instance = example9_instance(size)
+    elif family == "t3":
+        # Every node marked: each marked node with a predecessor fires
+        # Figure 2 once (spacing=2 would leave the set satisfied).
+        sigma = figure2()
+        instance = special_nodes_instance(size, spacing=1)
+    elif family == "divergent":
+        from repro.workloads.paper import intro_alpha2
+        sigma = intro_alpha2()
+        instance = special_nodes_instance(max(2, size // 2))
+        # Divergent specs ship a modest default step budget; the
+        # scheduler would cap an unbounded one anyway.
+        max_steps = min(max_steps, 2000)
+    else:
+        raise ValueError(f"unknown family {family!r} "
+                         f"(expected one of {FAMILIES})")
+    spec = {
+        "name": name or f"{family}_{size}",
+        "constraints": render_constraints(sigma),
+        "instance": render_instance(instance),
+        "strategy": "auto",
+        "max_steps": max_steps,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def mixed_batch_specs(n_jobs: int, seed: int = 0,
+                      min_size: int = 3, max_size: int = 8) -> List[dict]:
+    """``n_jobs`` specs cycling through the families with seeded sizes.
+
+    Sizes repeat across the batch (drawn from a small seeded range),
+    so a generated batch contains genuine duplicates -- exercising the
+    scheduler's intra-batch dedup exactly like real traffic with
+    repeated requests would.
+    """
+    rng = random.Random(seed)
+    specs = []
+    for index in range(n_jobs):
+        family = FAMILIES[index % len(FAMILIES)]
+        size = rng.randint(min_size, max_size)
+        specs.append(job_spec(family, size,
+                              name=f"{family}_{size}_{index}"))
+    return specs

@@ -1,0 +1,232 @@
+"""Direct tests for every ``repro`` CLI subcommand.
+
+``test_viz_cli.py`` covers the DOT output of ``graph``; this module
+covers the commands themselves -- exit codes, stdout shape, option
+handling -- including the service-layer ``batch`` and ``serve``.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+TERMINATING = "a1: S(x) -> E(x, y)"
+DIVERGENT = "a2: S(x) -> E(x, y), S(y)"
+
+
+@pytest.fixture
+def constraint_file(tmp_path):
+    def write(text, name="sigma.txt"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+    return write
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "instance.txt"
+    path.write_text("S(a). S(b). E(a, b).")
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# analyze
+# ----------------------------------------------------------------------
+def test_analyze_terminating_set(constraint_file, capsys):
+    assert main(["analyze", constraint_file(TERMINATING)]) == 0
+    out = capsys.readouterr().out
+    assert "weakly_acyclic" in out and "True" in out
+
+
+def test_analyze_divergent_set_exits_nonzero(constraint_file, capsys):
+    assert main(["analyze", constraint_file(DIVERGENT)]) == 1
+    assert "some sequence terminates : False" in capsys.readouterr().out
+
+
+def test_analyze_missing_file_is_a_clean_error(capsys):
+    assert main(["analyze", "/nonexistent/sigma.txt"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# chase
+# ----------------------------------------------------------------------
+def test_chase_terminating(constraint_file, instance_file, capsys):
+    code = main(["chase", constraint_file(TERMINATING),
+                 "--instance", instance_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("status: terminated")
+    assert "E(a, b)" in out
+
+
+def test_chase_budget_exit_code(constraint_file, instance_file, capsys):
+    code = main(["chase", constraint_file(DIVERGENT),
+                 "--instance", instance_file, "--max-steps", "20"])
+    assert code == 1
+    assert "exceeded_budget (20 steps)" in capsys.readouterr().out
+
+
+def test_chase_with_monitor_and_backend(constraint_file, instance_file,
+                                        capsys):
+    code = main(["chase", constraint_file(DIVERGENT),
+                 "--instance", instance_file, "--cycle-limit", "3",
+                 "--backend", "column", "--max-steps", "100000"])
+    assert code == 1
+    assert "aborted_by_monitor" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# graph
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["dep", "prop", "chase", "cchase"])
+def test_graph_kinds_emit_dot(constraint_file, capsys, kind):
+    code = main(["graph", constraint_file(TERMINATING), "--kind", kind])
+    assert code == 0
+    assert "digraph" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# optimize
+# ----------------------------------------------------------------------
+def test_optimize_emits_universal_plan(constraint_file, capsys):
+    code = main(["optimize", constraint_file("E(x, y) -> S(y)"),
+                 "--query", "q(x) <- E(x, y), S(y)"])
+    assert code == 0
+    assert "universal plan:" in capsys.readouterr().out
+
+
+def test_optimize_refuses_divergent_sets(constraint_file, capsys):
+    code = main(["optimize", constraint_file(DIVERGENT),
+                 "--query", "q(x) <- S(x)"])
+    assert code == 1
+    assert "refused:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# batch
+# ----------------------------------------------------------------------
+@pytest.fixture
+def jobs_dir(tmp_path):
+    jobs = tmp_path / "jobs"
+    jobs.mkdir()
+    (jobs / "fine.json").write_text(json.dumps({
+        "constraints": TERMINATING, "instance": "S(a). S(b)."}))
+    (jobs / "capped.json").write_text(json.dumps({
+        "constraints": DIVERGENT, "instance": "S(a).",
+        "max_steps": 30}))
+    return jobs
+
+
+def test_batch_runs_a_directory(jobs_dir, capsys):
+    assert main(["batch", str(jobs_dir), "--workers", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "capped: exceeded_budget after 30 steps" in captured.out
+    assert "fine: terminated" in captured.out
+    assert "2 jobs, 2 completed" in captured.err
+
+
+def test_batch_json_output_and_events(jobs_dir, capsys):
+    code = main(["batch", str(jobs_dir), "--workers", "1",
+                 "--json", "--events", "--progress-every", "10"])
+    assert code == 0
+    captured = capsys.readouterr()
+    payloads = [json.loads(line) for line in
+                captured.out.strip().splitlines()]
+    assert [p["job"] for p in payloads] == ["capped", "fine"]
+    assert all(p["facts"] for p in payloads)
+    assert "[queued] fine" in captured.err
+    assert "[finished] capped" in captured.err
+    # --progress-every surfaces the per-step stream (30-step job).
+    assert "[progress] capped" in captured.err
+
+
+def test_batch_single_file_and_empty_dir(tmp_path, jobs_dir, capsys):
+    assert main(["batch", str(jobs_dir / "fine.json")]) == 0
+    capsys.readouterr()
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["batch", str(empty)]) == 2
+    assert "no *.json job files" in capsys.readouterr().err
+
+
+def test_batch_exit_code_reflects_failures(tmp_path, capsys):
+    jobs = tmp_path / "jobs"
+    jobs.mkdir()
+    (jobs / "bad.json").write_text(json.dumps({
+        "constraints": TERMINATING, "instance": "S(a).",
+        "strategy": "bogus"}))
+    assert main(["batch", str(jobs)]) == 1
+    assert "1 killed/errored" in capsys.readouterr().err
+
+
+def test_batch_16_mixed_jobs_match_inprocess_execution(tmp_path, capsys):
+    """The acceptance scenario, end to end through the CLI: 16 mixed
+    workload-family job files, 2 workers, results identical to plain
+    sequential in-process execution."""
+    from repro.service import ChaseJob, execute_job
+    from repro.workloads.batch import mixed_batch_specs
+    jobs = tmp_path / "jobs16"
+    jobs.mkdir()
+    specs = mixed_batch_specs(16, seed=9)
+    for index, spec in enumerate(specs):
+        (jobs / f"{index:02d}.json").write_text(json.dumps(spec))
+    expected = {spec["name"]: execute_job(ChaseJob.from_dict(spec))
+                for spec in specs}
+    assert main(["batch", str(jobs), "--workers", "2", "--json"]) == 0
+    payloads = [json.loads(line) for line in
+                capsys.readouterr().out.strip().splitlines()]
+    assert [p["job"] for p in payloads] == [s["name"] for s in specs]
+    for payload in payloads:
+        reference = expected[payload["job"]]
+        assert payload["status"] == reference.status
+        assert payload["steps"] == reference.steps
+        assert payload["facts"] == reference.facts
+
+
+def test_batch_example_jobs_ship_and_run(capsys):
+    from pathlib import Path
+    jobs = Path(__file__).resolve().parents[2] / "examples" / "jobs"
+    assert main(["batch", str(jobs), "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "divergent_guarded: aborted_by_monitor" in out
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def serve_lines(monkeypatch, capsys, lines, argv=()):
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+    assert main(["serve", *argv]) == 0
+    return [json.loads(line) for line in
+            capsys.readouterr().out.strip().splitlines()]
+
+
+def test_serve_answers_jobs_line_by_line(monkeypatch, capsys):
+    request = json.dumps({"name": "r1", "constraints": TERMINATING,
+                          "instance": "S(a)."})
+    replies = serve_lines(monkeypatch, capsys,
+                          [request, "", request, "quit"])
+    assert len(replies) == 2
+    assert replies[0]["status"] == "terminated"
+    assert replies[0]["cached"] is False
+    # Same fingerprint on the second request: served from cache.
+    assert replies[1]["cached"] is True
+    assert replies[1]["facts"] == replies[0]["facts"]
+
+
+def test_serve_reports_bad_requests_inline(monkeypatch, capsys):
+    replies = serve_lines(monkeypatch, capsys, [
+        '{"constraints": "S(x) ->"}',            # parse error
+        "not json",                              # not even JSON
+        '{"constraints": 5, "instance": "S(a)."}',      # wrong type
+        '{"constraints": "S(x) -> T(x)", "instance": {}}',  # bad wire
+        json.dumps({"constraints": TERMINATING,  # service still alive
+                    "instance": "S(a)."}),
+    ])
+    assert len(replies) == 5
+    assert [reply["status"] for reply in replies] \
+        == ["error"] * 4 + ["terminated"]

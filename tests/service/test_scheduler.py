@@ -1,0 +1,205 @@
+"""Batch scheduling: the acceptance scenario plus policy details.
+
+The headline test runs a batch of >= 16 mixed workload-family jobs
+through a 2-worker scheduler and cross-validates every result against
+plain sequential in-process execution; a warm-cache rerun must answer
+everything without executing a single chase, and a deliberately
+divergent job must be stopped by its budget without affecting
+siblings.
+"""
+
+import pytest
+
+from repro.service.cache import ServiceCache
+from repro.service.jobs import ChaseJob, execute_job, STATUS_ERROR
+from repro.service.scheduler import BatchScheduler
+from repro.workloads.batch import mixed_batch_specs
+
+DIVERGENT = "a2: S(x) -> E(x, y), S(y)"
+
+
+def load(specs):
+    return [ChaseJob.from_dict(spec) for spec in specs]
+
+
+def comparable(result):
+    return (result.job, result.status, result.steps, result.new_nulls,
+            result.facts)
+
+
+def test_batch_of_16_parallel_equals_sequential_and_warm_cache_skips():
+    jobs = load(mixed_batch_specs(16, seed=11))
+    assert len(jobs) == 16
+    # Reference: plain sequential in-process execution, no service.
+    expected = [comparable(execute_job(job)) for job in jobs]
+
+    events = []
+    scheduler = BatchScheduler(workers=2, on_event=events.append)
+    results = scheduler.run_batch(jobs)
+    assert [comparable(r) for r in results] == expected
+    # All four families actually ran (mixed batch, not a degenerate one).
+    assert {r.job.split("_")[0] for r in results} == {
+        "chain", "safe", "t3", "divergent"}
+    # The divergent jobs were stopped by their step budgets while
+    # sibling jobs terminated normally.
+    divergent = [r for r in results if r.job.startswith("divergent")]
+    others = [r for r in results if not r.job.startswith("divergent")]
+    assert divergent and all(r.status == "exceeded_budget"
+                             for r in divergent)
+    assert others and all(r.status == "terminated" for r in others)
+    # Guaranteed-terminating jobs were all dispatched before any
+    # budget-capped unknown (divergent) job.
+    started = [e.job for e in events if e.kind == "started"]
+    first_unknown = started.index(
+        next(name for name in started if name.startswith("divergent")))
+    assert all(not name.startswith("divergent")
+               for name in started[:first_unknown])
+
+    executed_cold = scheduler.pool.executed
+    assert executed_cold < len(jobs)  # seeded sizes repeat: dedup hit
+
+    # Warm rerun: identical payloads, zero executions.
+    rerun = scheduler.run_batch(load(mixed_batch_specs(16, seed=11)))
+    assert [comparable(r) for r in rerun] == expected
+    assert all(r.cached for r in rerun)
+    assert scheduler.pool.executed == executed_cold
+
+
+def test_results_come_back_in_input_order():
+    jobs = load(mixed_batch_specs(8, seed=3))
+    scheduler = BatchScheduler(workers=2)
+    results = scheduler.run_batch(jobs)
+    assert [r.job for r in results] == [job.name for job in jobs]
+
+
+def test_wall_clock_budget_kills_divergent_job_without_hurting_siblings():
+    specs = mixed_batch_specs(4, seed=5)
+    jobs = load(specs)
+    runaway = ChaseJob.from_dict({
+        "name": "runaway", "constraints": DIVERGENT, "instance": "S(a).",
+        "max_steps": 100_000_000, "wall_clock": 0.15})
+    scheduler = BatchScheduler(workers=2, unknown_step_cap=None)
+    results = scheduler.run_batch([runaway] + jobs)
+    assert results[0].job == "runaway"
+    assert results[0].status == "exceeded_wall_clock"
+    expected = [comparable(execute_job(job)) for job in jobs]
+    assert [comparable(r) for r in results[1:]] == expected
+    # Timing-dependent outcome: never cached, reruns execute again.
+    before = scheduler.pool.executed
+    again = scheduler.run_batch([runaway])
+    assert not again[0].cached
+    assert scheduler.pool.executed == before + 1
+
+
+def test_unknown_jobs_get_step_capped():
+    job = ChaseJob.from_dict({
+        "name": "big", "constraints": DIVERGENT, "instance": "S(a).",
+        "max_steps": 100_000_000})
+    scheduler = BatchScheduler(workers=1, unknown_step_cap=100,
+                               force_inprocess=True)
+    planned, report, guaranteed = scheduler.plan_job(job)
+    assert not guaranteed and not report.guarantees_some_sequence
+    assert planned.max_steps == 100
+    result = scheduler.run_batch([job])[0]
+    assert result.status == "exceeded_budget" and result.steps == 100
+
+
+def test_guaranteed_jobs_keep_their_budgets():
+    job = ChaseJob.from_dict({
+        "name": "chain", "constraints": "c: R(x, y) -> T(x, y)",
+        "instance": "R(a, b).", "max_steps": 100_000_000})
+    scheduler = BatchScheduler(workers=1, unknown_step_cap=100)
+    planned, _, guaranteed = scheduler.plan_job(job)
+    assert guaranteed and planned.max_steps == 100_000_000
+
+
+def test_auto_strategy_is_pinned_from_the_cached_report():
+    from repro.lang.parser import render_constraints
+    from repro.workloads.paper import example4, example4_instance
+    job = ChaseJob.from_dict({
+        "name": "ex4",
+        "constraints": render_constraints(example4()),
+        "instance": "\n".join(sorted(f"{f}." for f in example4_instance())),
+        "strategy": "auto", "max_steps": 2000})
+    scheduler = BatchScheduler(workers=1, force_inprocess=True)
+    planned, report, guaranteed = scheduler.plan_job(job)
+    assert report.stratified and not report.guarantees_all_sequences
+    assert planned.strategy == "stratified"
+    assert guaranteed
+    # And the run indeed terminates where round-robin would diverge.
+    result = scheduler.run_batch([job])[0]
+    assert result.status == "terminated"
+
+
+def test_explicit_stratified_request_on_unstratifiable_set_errors():
+    job = ChaseJob.from_dict({
+        "name": "bad", "constraints": DIVERGENT, "instance": "S(a).",
+        "strategy": "stratified"})
+    scheduler = BatchScheduler(workers=1, force_inprocess=True)
+    sibling = ChaseJob.from_dict({
+        "name": "good", "constraints": "c: R(x, y) -> T(x, y)",
+        "instance": "R(a, b)."})
+    results = scheduler.run_batch([job, sibling])
+    assert results[0].status == STATUS_ERROR
+    assert "not stratified" in results[0].failure_reason
+    assert results[1].status == "terminated"
+
+
+def test_duplicate_jobs_share_deterministic_results_only():
+    """Intra-batch dedup replays a duplicate only when the shared run
+    ended deterministically; a wall-clock abort is re-executed."""
+    spec = {"constraints": DIVERGENT, "instance": "S(a).",
+            "max_steps": 100_000_000, "wall_clock": 0.1}
+    pair = [ChaseJob.from_dict(dict(spec, name="first")),
+            ChaseJob.from_dict(dict(spec, name="twin"))]
+    scheduler = BatchScheduler(workers=2, unknown_step_cap=None)
+    results = scheduler.run_batch(pair)
+    assert all(r.status == "exceeded_wall_clock" for r in results)
+    assert not any(r.cached for r in results)
+    assert scheduler.pool.executed == 2      # the twin really ran
+    # Deterministic duplicates, by contrast, execute once.
+    fast = {"constraints": DIVERGENT, "instance": "S(a).",
+            "max_steps": 30}
+    twins = [ChaseJob.from_dict(dict(fast, name="a")),
+             ChaseJob.from_dict(dict(fast, name="b"))]
+    before = scheduler.pool.executed
+    deduped = scheduler.run_batch(twins)
+    assert scheduler.pool.executed == before + 1
+    assert deduped[1].cached and deduped[1].facts == deduped[0].facts
+
+
+def test_no_cache_disables_dedup_too():
+    """With the result cache off, duplicate jobs must really execute:
+    the user asked for every run to happen."""
+    fast = {"constraints": DIVERGENT, "instance": "S(a).",
+            "max_steps": 30}
+    twins = [ChaseJob.from_dict(dict(fast, name="a")),
+             ChaseJob.from_dict(dict(fast, name="b"))]
+    scheduler = BatchScheduler(workers=1, force_inprocess=True,
+                               cache=ServiceCache(result_size=0))
+    results = scheduler.run_batch(twins)
+    assert scheduler.pool.executed == 2
+    assert not any(r.cached for r in results)
+
+
+def test_shared_cache_across_scheduler_instances():
+    cache = ServiceCache()
+    jobs = load(mixed_batch_specs(4, seed=2))
+    first = BatchScheduler(workers=1, cache=cache, force_inprocess=True)
+    first.run_batch(jobs)
+    second = BatchScheduler(workers=2, cache=cache)
+    results = second.run_batch(load(mixed_batch_specs(4, seed=2)))
+    assert all(r.cached for r in results)
+    assert second.pool.executed == 0
+
+
+def test_cached_events_are_emitted_on_warm_hits():
+    events = []
+    scheduler = BatchScheduler(workers=1, force_inprocess=True,
+                               on_event=events.append)
+    jobs = load(mixed_batch_specs(4, seed=7))
+    scheduler.run_batch(jobs)
+    events.clear()
+    scheduler.run_batch(load(mixed_batch_specs(4, seed=7)))
+    assert [e.kind for e in events if e.kind in ("cached", "started")] \
+        == ["cached"] * 4

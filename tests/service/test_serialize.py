@@ -1,0 +1,91 @@
+"""Wire-encoding roundtrips and stability."""
+
+import json
+
+import pytest
+
+from repro.chase import chase
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+from repro.lang.parser import parse_constraints
+from repro.lang.terms import Constant, Null, Variable
+from repro.service.serialize import (atom_sort_key, decode_atom,
+                                     decode_instance, decode_result,
+                                     decode_term, encode_atom,
+                                     encode_instance, encode_result,
+                                     encode_term, WireError)
+
+
+def test_term_roundtrip_preserves_kind_and_type():
+    for term in (Constant("a"), Constant(1), Constant(1.5),
+                 Constant("1"), Null(7)):
+        assert decode_term(encode_term(term)) == term
+    # A string constant "1" and an int constant 1 must not collide.
+    assert encode_term(Constant("1")) != encode_term(Constant(1))
+    # A null and a constant with the same payload must not collide.
+    assert encode_term(Null(3)) != encode_term(Constant(3))
+
+
+def test_atom_roundtrip():
+    fact = Atom("E", (Constant("a"), Null(2)))
+    assert decode_atom(encode_atom(fact)) == fact
+
+
+def test_instance_roundtrip_and_backend():
+    facts = [Atom("E", (Constant("a"), Constant("b"))),
+             Atom("S", (Null(1),))]
+    instance = Instance(facts, backend="column")
+    payload = encode_instance(instance)
+    decoded = decode_instance(payload)
+    assert decoded == instance
+    assert decoded.backend == "column"
+    # The override wins over the encoded backend.
+    assert decode_instance(payload, backend="set").backend == "set"
+
+
+def test_encoding_is_stable_across_insertion_order():
+    facts = [Atom("E", (Constant(f"c{i}"), Constant(f"c{i+1}")))
+             for i in range(6)]
+    forward = encode_instance(Instance(facts))
+    backward = encode_instance(Instance(list(reversed(facts))))
+    assert json.dumps(forward) == json.dumps(backward)
+
+
+def test_atom_sort_key_is_injective_on_tricky_constants():
+    # Rendered strings would collide ("S(a, b)" could be one binary or
+    # one unary atom over a weird constant); the JSON key must not.
+    left = Atom("S", (Constant("a"), Constant("b")))
+    right = Atom("S", (Constant("a, b"),))
+    assert atom_sort_key(left) != atom_sort_key(right)
+
+
+def test_result_roundtrip_carries_status_and_instance():
+    sigma = parse_constraints("a1: S(x) -> E(x, y)")
+    instance = Instance([Atom("S", (Constant("a"),))])
+    result = chase(instance, sigma)
+    payload = encode_result(result)
+    decoded = decode_result(payload)
+    assert decoded.status is result.status
+    assert decoded.instance == result.instance
+    assert payload["steps"] == result.length
+
+
+def test_malformed_payloads_raise_wire_error():
+    with pytest.raises(WireError):
+        decode_term(["x", 1])
+    with pytest.raises(WireError):
+        decode_term("nope")
+    with pytest.raises(WireError):
+        decode_term("c7")          # 2-char string must not unpack
+    with pytest.raises(WireError):
+        decode_atom("Sx")
+    with pytest.raises(WireError):
+        decode_atom({"relation": "S"})
+    with pytest.raises(WireError):
+        decode_instance(["not", "a", "dict"])
+    with pytest.raises(WireError):
+        decode_result({"no": "status"})
+    with pytest.raises(WireError):
+        encode_term(Variable("x"))
+    with pytest.raises(WireError):
+        encode_term(Constant(object()))

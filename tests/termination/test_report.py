@@ -52,3 +52,43 @@ class TestAnalyze:
         assert row["inductively_restricted"] is True
         assert row["safe"] is False
         assert row["t_level"] == 2
+
+
+class TestReportIdentity:
+    """Value semantics, fingerprints and the analyze() memo (PR 4)."""
+
+    def test_reports_are_value_objects(self):
+        from repro.lang.parser import parse_constraints
+        left = analyze(parse_constraints("S(x) -> E(x, y)"), max_k=2)
+        right = analyze(parse_constraints("S(x) -> E(x, y)"), max_k=2)
+        assert left == right
+        assert hash(left) == hash(right)
+        other = analyze(parse_constraints("S(x) -> E(y, x)"), max_k=2)
+        assert left != other
+
+    def test_fingerprint_ignores_order_and_labels_not_content(self):
+        from repro.lang.parser import parse_constraints
+        forward = analyze(parse_constraints(
+            "a: S(x) -> E(x, y)\nb: E(x, y) -> T(y)"))
+        backward = analyze(parse_constraints(
+            "E(x, y) -> T(y)\nS(x) -> E(x, y)"))
+        assert forward.fingerprint() == backward.fingerprint()
+        deeper = analyze(parse_constraints(
+            "a: S(x) -> E(x, y)\nb: E(x, y) -> T(y)"), max_k=5)
+        assert forward.fingerprint() != deeper.fingerprint()
+        other = analyze(parse_constraints("S(x) -> E(x, x)"))
+        assert forward.fingerprint() != other.fingerprint()
+
+    def test_analyze_is_memoized(self):
+        from repro.termination.report import (analyze_cache_info,
+                                              clear_analyze_cache)
+        clear_analyze_cache()
+        sigma = example4()
+        first = analyze(sigma, max_k=2)
+        before = analyze_cache_info().hits
+        second = analyze(list(sigma), max_k=2)
+        assert second is first
+        assert analyze_cache_info().hits == before + 1
+        # A different probe depth is a different memo entry.
+        assert analyze(sigma, max_k=3) is not first
+        clear_analyze_cache()
