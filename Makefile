@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-service bench bench-smoke bench-json docs-check
+.PHONY: test test-service query-smoke bench bench-smoke bench-json docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,6 +12,12 @@ test-service:
 	$(PYTHON) -m pytest tests/service tests/integration/test_cli.py \
 	    tests/chase/test_budgets.py -q
 	$(PYTHON) -m repro batch examples/jobs --workers 2 --events
+
+# Query-service smoke: the shipped certain-answer specs (terminating,
+# stratified-only, depth-bounded guarded) end to end through
+# `repro query` on 2 workers.
+query-smoke:
+	$(PYTHON) -m repro query examples/queries --workers 2 --events
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
@@ -27,8 +33,12 @@ bench-json:
 	    --benchmark-json=BENCH_chase_scaling.json
 	@echo "wrote BENCH_chase_scaling.json"
 
+# Fails on broken intra-repo markdown links and on references to
+# nonexistent files from docs or docstrings (the class of rot where a
+# module keeps pointing at a long-deleted design document).
 docs-check:
-	@test -f README.md || { echo "README.md missing"; exit 1; }
 	@test -f docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md missing"; exit 1; }
+	@test -f docs/PAPER_MAP.md || { echo "docs/PAPER_MAP.md missing"; exit 1; }
+	$(PYTHON) tools/check_docs.py
 	$(PYTHON) examples/quickstart.py > /dev/null
 	@echo "docs ok"

@@ -39,16 +39,16 @@ Quickstart::
 from repro.chase import (chase, ChaseResult, ChaseStatus, core,
                          oblivious_chase, OrderedStrategy, RandomStrategy,
                          RoundRobinStrategy, StratifiedStrategy)
-from repro.cq import (ConjunctiveQuery, contained_in, equivalent, optimize,
-                      universal_plan)
+from repro.cq import (compiled_answers, ConjunctiveQuery, contained_in,
+                      equivalent, minimize_query, optimize, universal_plan)
 from repro.datadep import (monitored_chase, MonitorGraph, pay_as_you_go,
                            relevant_constraints, terminates_statically)
 from repro.kb import (certain_answers, is_restrictedly_guarded,
-                      is_weakly_guarded)
+                      is_weakly_guarded, optimize_query)
 from repro.lang import (Atom, Constant, EGD, Instance, Null, parse_constraint,
                         parse_constraints, parse_instance, parse_query,
                         Position, Schema, TGD, Variable)
-from repro.service import (BatchScheduler, ChaseJob, JobResult,
+from repro.service import (BatchScheduler, ChaseJob, JobResult, QueryJob,
                            ServiceCache, WorkerPool)
 from repro.storage import (ColumnStore, FactStore, SetStore, TermTable,
                            backend_names)
@@ -63,10 +63,12 @@ __version__ = "1.0.0"
 __all__ = [
     "chase", "ChaseResult", "ChaseStatus", "core", "oblivious_chase",
     "OrderedStrategy", "RandomStrategy", "RoundRobinStrategy",
-    "StratifiedStrategy", "ConjunctiveQuery", "contained_in", "equivalent",
+    "StratifiedStrategy", "compiled_answers", "ConjunctiveQuery",
+    "contained_in", "equivalent", "minimize_query",
     "optimize", "universal_plan", "monitored_chase", "MonitorGraph",
     "pay_as_you_go", "relevant_constraints", "terminates_statically",
     "certain_answers", "is_restrictedly_guarded", "is_weakly_guarded",
+    "optimize_query",
     "Atom", "Constant", "EGD", "Instance", "Null", "parse_constraint",
     "parse_constraints", "parse_instance", "parse_query", "Position",
     "Schema", "TGD", "Variable", "analyze", "chase_strata", "check",
@@ -74,5 +76,5 @@ __all__ = [
     "is_stratified", "is_weakly_acyclic", "stratified_strategy", "t_level",
     "TerminationReport", "ColumnStore", "FactStore", "SetStore",
     "TermTable", "backend_names", "BatchScheduler", "ChaseJob",
-    "JobResult", "ServiceCache", "WorkerPool", "__version__",
+    "JobResult", "QueryJob", "ServiceCache", "WorkerPool", "__version__",
 ]

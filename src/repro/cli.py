@@ -11,11 +11,18 @@ Commands
 ``optimize FILE --query 'ans(x) <- ...'``
     Run the Section 4 SQO pipeline on a query.
 ``batch DIR``
-    Run every ``*.json`` chase job under DIR through the batch
-    scheduler (parallel workers, fingerprint cache, budget caps).
+    Run every ``*.json`` job under DIR (chase *or* query specs)
+    through the batch scheduler (parallel workers, fingerprint cache,
+    budget caps).
 ``serve``
     Line-oriented service loop: one job JSON per stdin line, one
     result JSON per stdout line, with a warm cache across requests.
+``query SPEC | query FILE --instance FILE2 --query '...'``
+    Certain answers of a conjunctive query over a knowledge base
+    (Section 5), served through the same scheduler/cache/pool: SPEC
+    is a query-job JSON file (or a directory of them, see
+    ``examples/queries/``), or pass a constraints file plus
+    ``--instance``/``--query`` inline.
 
 Constraint files use the library's text format (see
 :mod:`repro.lang.parser`), e.g.::
@@ -71,7 +78,7 @@ def cmd_chase(args) -> int:
 
 
 def _load_jobs(path: Path):
-    from repro.service import ChaseJob
+    from repro.service import job_from_path
     if path.is_dir():
         job_files = sorted(path.glob("*.json"))
         if not job_files:
@@ -80,7 +87,7 @@ def _load_jobs(path: Path):
         job_files = [path]
     else:
         raise ReproError(f"no such job file or directory: {path}")
-    return [ChaseJob.from_path(job_file) for job_file in job_files]
+    return [job_from_path(job_file) for job_file in job_files]
 
 
 def _make_scheduler(args, workers: int):
@@ -126,7 +133,7 @@ def cmd_serve(args) -> int:
     EOF) ends the session.
     """
     import json as _json
-    from repro.service import ChaseJob
+    from repro.service import job_from_dict
     scheduler = _make_scheduler(args, workers=args.workers)
     try:
         for line in sys.stdin:
@@ -136,7 +143,7 @@ def cmd_serve(args) -> int:
             if line in ("quit", "exit"):
                 break
             try:
-                job = ChaseJob.from_dict(_json.loads(line))
+                job = job_from_dict(_json.loads(line))
                 result = scheduler.run_one(job)
                 payload = result.to_dict()
             except Exception as exc:              # noqa: BLE001
@@ -148,6 +155,60 @@ def cmd_serve(args) -> int:
     finally:
         scheduler.close()
     return 0
+
+
+def cmd_query(args) -> int:
+    """Serve certain-answer query jobs through the batch machinery.
+
+    The positional argument is either a query-job JSON spec (or a
+    directory of specs) or a constraints file combined with
+    ``--instance`` and ``--query``.  Either way the jobs run through
+    the scheduler -- termination-aware planning, fingerprint cache,
+    worker pool -- exactly like ``repro batch``.
+    """
+    import json as _json
+    from repro.service import QueryJob
+    from repro.service.serialize import decode_term
+    path = Path(args.spec)
+    if path.is_dir() or path.suffix == ".json":
+        jobs = _load_jobs(path)
+        not_queries = [job.name for job in jobs if job.kind != "query"]
+        if not_queries:
+            raise ReproError("not query-job specs (no 'query' field): "
+                             + ", ".join(not_queries))
+    else:
+        if not args.query or not args.instance:
+            raise ReproError("--instance and --query are required when "
+                             "the positional argument is a constraints "
+                             "file (pass a .json spec otherwise)")
+        instance = parse_instance(Path(args.instance).read_text())
+        jobs = [QueryJob(
+            name=path.stem, sigma=tuple(_load_constraints(args.spec)),
+            instance=instance, query=parse_query(args.query),
+            backend=args.backend, max_steps=args.max_steps,
+            cycle_limit=args.cycle_limit,
+            optimize=not args.no_optimize, depth_limit=args.depth_limit)]
+    scheduler = _make_scheduler(args, workers=args.workers)
+    try:
+        results = scheduler.run_batch(jobs)
+    finally:
+        scheduler.close()
+    for result in results:
+        if args.json:
+            print(_json.dumps(result.to_dict(), sort_keys=True))
+            continue
+        print(result.describe())
+        if result.query:
+            print(f"  evaluated: {result.query}")
+        for row in result.answers or []:
+            rendered = ", ".join(str(decode_term(term)) for term in row)
+            print(f"  ({rendered})")
+    completed = sum(1 for r in results if r.ok)
+    cached = sum(1 for r in results if r.cached)
+    print(f"query: {len(results)} jobs, {completed} completed, "
+          f"{cached} from cache, {len(results) - completed} "
+          "killed/errored", file=sys.stderr)
+    return 0 if completed == len(results) else 1
 
 
 def cmd_graph(args) -> int:
@@ -247,6 +308,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     service_options(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="certain answers of a CQ over a knowledge "
+                            "base (Section 5)")
+    p.add_argument("spec", help="query-job JSON spec file or directory "
+                                "(see examples/queries/), or a "
+                                "constraints file with --instance/--query")
+    p.add_argument("--instance", default=None,
+                   help="instance file (with a constraints-file spec)")
+    p.add_argument("--query", default=None,
+                   help="query text, e.g. 'q(x) <- E(x, y)' "
+                        "(with a constraints-file spec)")
+    p.add_argument("--backend", choices=backend_names(), default=None)
+    p.add_argument("--max-steps", type=int, default=10_000)
+    p.add_argument("--cycle-limit", type=int, default=0,
+                   help="arm the Section 4.2 monitor (0 = off)")
+    p.add_argument("--no-optimize", action="store_true",
+                   help="skip the Section 4 semantic optimization")
+    p.add_argument("--depth-limit", type=int, default=None,
+                   help="depth bound for the non-terminating fallback "
+                        "(default: query-sized heuristic)")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--json", action="store_true",
+                   help="emit one result JSON per line instead of text")
+    service_options(p)
+    p.set_defaults(func=cmd_query)
     return parser
 
 

@@ -1,10 +1,16 @@
-"""Conjunctive queries and semantic query optimization."""
+"""Conjunctive queries, compiled evaluation and semantic query
+optimization."""
 
 from repro.cq.containment import contained_in, equivalent
-from repro.cq.optimize import (optimize, OptimizationResult, universal_plan)
+from repro.cq.evaluate import (compile_query, CompiledQuery,
+                               compiled_answers, reference_answers)
+from repro.cq.optimize import (minimize_query, optimize,
+                               OptimizationResult, universal_plan)
 from repro.cq.query import ConjunctiveQuery, unfreeze
 
 __all__ = [
-    "contained_in", "equivalent", "optimize", "OptimizationResult",
-    "universal_plan", "ConjunctiveQuery", "unfreeze",
+    "compile_query", "CompiledQuery", "compiled_answers",
+    "contained_in", "equivalent", "minimize_query", "optimize",
+    "OptimizationResult", "reference_answers", "universal_plan",
+    "ConjunctiveQuery", "unfreeze",
 ]

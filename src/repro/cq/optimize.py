@@ -14,17 +14,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.chase.core import core
 from repro.chase.result import ChaseStatus
 from repro.chase.runner import chase, DEFAULT_MAX_STEPS
 from repro.cq.containment import equivalent
 from repro.cq.query import ConjunctiveQuery, unfreeze
 from repro.datadep.monitored_chase import monitored_chase
-from repro.lang.atoms import atoms_variables
+from repro.lang.atoms import Atom, atoms_variables
 from repro.lang.constraints import Constraint
 from repro.lang.errors import NonTerminationBudget
 from repro.lang.instance import Instance
+from repro.lang.terms import Constant, Null, Term, Variable
+
+#: Tags marking the frozen terms of :func:`minimize_query` -- tuple
+#: values cannot collide with any parsed constant (str/number).
+_HEAD_TAG = "__cq_head__"
+_NULL_TAG = "__cq_null__"
 
 
 @dataclass
@@ -66,6 +73,56 @@ def universal_plan(query: ConjunctiveQuery, sigma: Iterable[Constraint],
             f"chase of {query.name} did not terminate "
             f"({result.status.value}); no universal plan exists")
     return unfreeze(result.instance, var_map, query)
+
+
+def minimize_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Classical CQ minimization via the core: fold the body onto
+    itself by head-preserving endomorphisms until no proper fold
+    remains.
+
+    The body is frozen into an instance with head variables as tagged
+    *constants* (endomorphisms must fix them -- the head-preservation
+    requirement) and existential variables as nulls (movable), the
+    greedy core computation of :mod:`repro.chase.core` shrinks it, and
+    the retract unfreezes back into a query.  Labeled nulls already
+    occurring in the body are frozen as tagged constants too: source-
+    side nulls match themselves exactly during evaluation (see
+    :mod:`repro.homomorphism.engine`), so minimization must keep them
+    rigid rather than let the core fold them.  The result is
+    equivalent to the input (the core is a homomorphic retract both
+    ways) with a minimal body -- the "minimize via the core" step of
+    the Section 4 pipeline, polynomial-ish where the subquery
+    enumeration of :func:`optimize` is exponential.
+    """
+    head_vars = query.head_variables()
+    freeze: Dict[Term, Term] = {}
+    for index, var in enumerate(sorted(query.variables(),
+                                       key=lambda v: v.name)):
+        if var in head_vars:
+            freeze[var] = Constant((_HEAD_TAG, var.name))
+        else:
+            freeze[var] = Null(-(index + 1) - 20_000_000)
+    for null in sorted({arg for atom in query.body for arg in atom.args
+                        if isinstance(arg, Null)},
+                       key=lambda n: n.label):
+        freeze[null] = Constant((_NULL_TAG, null.label))
+    thaw: Dict[Term, Term] = {term: source
+                              for source, term in freeze.items()}
+    folded = core(Instance(atom.substitute(freeze)
+                           for atom in query.body))
+    body: List[Atom] = []
+    for fact in sorted(folded.facts(), key=str):
+        args: List[Term] = []
+        for arg in fact.args:
+            if (isinstance(arg, Null)
+                    or (isinstance(arg, Constant)
+                        and isinstance(arg.value, tuple)
+                        and arg.value[0] in (_HEAD_TAG, _NULL_TAG))):
+                args.append(thaw[arg])
+            else:
+                args.append(arg)
+        body.append(Atom(fact.relation, tuple(args)))
+    return query.with_body(body)
 
 
 def optimize(query: ConjunctiveQuery, sigma: Iterable[Constraint],

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
-from repro.homomorphism.engine import find_homomorphisms
+from repro.homomorphism.engine import (find_homomorphisms,
+                                       reference_mode_active)
 from repro.lang.atoms import Atom, atoms_variables
 from repro.lang.errors import SchemaError
 from repro.lang.instance import Instance
@@ -59,26 +60,28 @@ class ConjunctiveQuery:
 
         With ``constants_only`` (the paper's semantics: answers range
         over ``Delta``), tuples containing labeled nulls are dropped.
+
+        Evaluation runs through the compiled id-level path of
+        :mod:`repro.cq.evaluate` (projection pushed into the body's
+        :class:`~repro.homomorphism.plan.JoinPlan`, dedup and null
+        filtering on interned ids); inside a
+        :func:`~repro.homomorphism.engine.reference_engine` context the
+        pre-plan oracle evaluates instead.
         """
-        answers: Set[Tuple[GroundTerm, ...]] = set()
-        for assignment in find_homomorphisms(list(self.body), instance):
-            row: List[GroundTerm] = []
-            for term in self.head:
-                if isinstance(term, Variable):
-                    row.append(assignment[term])
-                else:
-                    row.append(term)  # type: ignore[arg-type]
-            tup = tuple(row)
-            if constants_only and any(isinstance(t, Null) for t in tup):
-                continue
-            answers.add(tup)
-        return answers
+        from repro.cq.evaluate import compiled_answers, reference_answers
+        if reference_mode_active():
+            return reference_answers(self, instance, constants_only)
+        return compiled_answers(self, instance, constants_only)
 
     def holds_in(self, instance: Instance) -> bool:
         """Boolean-query satisfaction (existence of a body match)."""
-        for _ in find_homomorphisms(list(self.body), instance, limit=1):
-            return True
-        return False
+        if reference_mode_active():
+            for _ in find_homomorphisms(list(self.body), instance,
+                                        limit=1):
+                return True
+            return False
+        from repro.cq.evaluate import compiled_holds_in
+        return compiled_holds_in(self, instance)
 
     # ------------------------------------------------------------------
     def freeze(self) -> Tuple[Instance, Dict[Variable, Null]]:

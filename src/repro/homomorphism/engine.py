@@ -33,7 +33,7 @@ __all__ = [
     "find_homomorphisms", "find_homomorphisms_through",
     "has_homomorphism", "homomorphism_between", "instance_maps_into",
     "is_endomorphism_proper", "null_renaming_equivalent",
-    "reference_engine",
+    "reference_engine", "reference_mode_active",
 ]
 
 #: When True, searches run on the preserved PR 1 algorithm
@@ -57,6 +57,17 @@ def reference_engine():
         yield
     finally:
         _reference_mode = previous
+
+
+def reference_mode_active() -> bool:
+    """Is a :func:`reference_engine` context currently in force?
+
+    Layers with their own compiled fast paths (the compiled CQ
+    evaluation of :mod:`repro.cq.evaluate`) consult this so that one
+    ``reference_engine()`` block routes the *whole* stack through the
+    pre-plan algorithms.
+    """
+    return _reference_mode
 
 
 def find_homomorphisms(atoms: Sequence[Atom], instance: Instance,

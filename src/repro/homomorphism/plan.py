@@ -170,7 +170,9 @@ class JoinPlan:
                 pin_index: Optional[int] = None,
                 pin_entries: Optional[Assignment] = None,
                 limit: Optional[int] = None,
-                prune=None) -> Iterator[Assignment]:
+                prune=None,
+                project: Optional[Tuple[Variable, ...]] = None
+                ) -> Iterator[Assignment]:
         """Enumerate homomorphisms of the compiled body into ``store``.
 
         ``partial`` pre-binds variables; ``pin_index``/``pin_entries``
@@ -178,6 +180,15 @@ class JoinPlan:
         already unified against a delta fact; ``limit`` caps the number
         of yields.  Yielded assignments are fresh term-level dicts
         including the pre-bound variables.
+
+        ``project``, if given, is a projection push-down: instead of
+        decoded assignment dicts the iterator yields plain tuples of
+        *interned term ids*, one per listed variable (which must all
+        occur in the body or be pre-bound).  No term is decoded and no
+        dict is built per result -- the access path compiled query
+        evaluation (:mod:`repro.cq.evaluate`) runs on, where answers
+        are deduplicated and null-filtered at the id level before any
+        decoding happens.
 
         The join runs entirely over interned ids: ``prune``, if given,
         is called with the *id-level* binding (variable -> term id)
@@ -197,6 +208,14 @@ class JoinPlan:
         binding_ids: Dict[Variable, int] = (
             {var: intern(value) for var, value in partial.items()}
             if partial else {})
+
+        if project is None:
+            def emit():
+                return {var: term_of(tid)
+                        for var, tid in binding_ids.items()}
+        else:
+            def emit():
+                return tuple(binding_ids[var] for var in project)
         if prune is not None and prune(binding_ids):
             return
         if pin_entries:
@@ -207,7 +226,7 @@ class JoinPlan:
         specs = self.specs
         # Trivial: empty body, or the pin consumed the only atom.
         if not specs or (len(specs) == 1 and pin_index is not None):
-            yield {var: term_of(tid) for var, tid in binding_ids.items()}
+            yield emit()
             return
         scan = store.scan
 
@@ -223,7 +242,7 @@ class JoinPlan:
                             else intern(arg) for arg in spec.args)
                 if not store.has_row(spec.relation, spec.arity, ids):
                     return
-            yield {var: term_of(tid) for var, tid in binding_ids.items()}
+            yield emit()
             return
 
         # Variables the prune predicate reads (when declared): a True
@@ -272,8 +291,7 @@ class JoinPlan:
                             return
                         continue
                 produced += 1
-                yield {var: term_of(tid)
-                       for var, tid in binding_ids.items()}
+                yield emit()
                 for var in local:
                     del binding_ids[var]
                 if limit is not None and produced >= limit:
@@ -292,8 +310,7 @@ class JoinPlan:
             nonlocal produced
             if depth == depth_count:
                 produced += 1
-                yield {var: term_of(tid)
-                       for var, tid in binding_ids.items()}
+                yield emit()
                 return
             index = order[depth]
             spec = specs[index]

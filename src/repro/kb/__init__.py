@@ -1,7 +1,8 @@
 """Query answering over knowledge bases (Section 5)."""
 
 from repro.kb.answering import (BoundedChaseResult, certain_answers,
-                                default_depth, depth_bounded_chase)
+                                default_depth, depth_bounded_chase,
+                                optimize_query)
 from repro.kb.guarded_null import (sequence_has_guarded_nulls,
                                    step_has_guarded_nulls)
 from repro.kb.guardedness import (is_restrictedly_guarded, is_weakly_guarded,
@@ -11,7 +12,8 @@ from repro.kb.treewidth import (gaifman_graph, lemma6_bound,
 
 __all__ = [
     "BoundedChaseResult", "certain_answers", "default_depth",
-    "depth_bounded_chase", "sequence_has_guarded_nulls",
+    "depth_bounded_chase", "optimize_query",
+    "sequence_has_guarded_nulls",
     "step_has_guarded_nulls", "is_restrictedly_guarded",
     "is_weakly_guarded", "restricted_guards", "weak_guards",
     "gaifman_graph", "lemma6_bound", "treewidth_upper_bound",

@@ -8,25 +8,34 @@ the (possibly infinite) chase is its *guarded chase forest* up to a
 depth determined by the query.  We implement that standard truncation
 directly -- a **depth-bounded chase** that refuses to create nulls of
 derivation depth beyond a limit -- and evaluate the query on the
-finite prefix, restricting answers to non-null tuples.  DESIGN.md
-records this as the one substitution in the reproduction: it exercises
-the same decidability mechanism (finite-treewidth prefixes) without
-re-implementing [5]'s alternating algorithm.
+finite prefix, restricting answers to non-null tuples.  This is the
+one substitution in the reproduction -- it exercises the same
+decidability mechanism (finite-treewidth prefixes) without
+re-implementing [5]'s alternating algorithm; the full rationale lives
+in ``docs/PAPER_MAP.md`` ("Deviations from the paper").
+
+Queries are evaluated through the compiled id-level path of
+:mod:`repro.cq.evaluate`, and :func:`optimize_query` wires Section 4's
+semantic optimization in front of answering: chase the frozen query
+(strategy pinned from the memoized termination report, depth-bounded
+prefix for sets guaranteeing nothing), unfreeze, minimize via the
+core.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.chase.result import ChaseResult, ChaseStatus
 from repro.chase.runner import chase
 from repro.chase.step import apply_step
-from repro.cq.query import ConjunctiveQuery
+from repro.cq.query import ConjunctiveQuery, unfreeze
 from repro.homomorphism.engine import find_homomorphisms
 from repro.homomorphism.extend import head_extends
 from repro.lang.constraints import Constraint, EGD, TGD
-from repro.lang.errors import ChaseFailure
+from repro.lang.errors import ChaseFailure, SchemaError
 from repro.lang.instance import Instance
 from repro.lang.terms import GroundTerm, Null
 
@@ -37,14 +46,17 @@ class BoundedChaseResult:
 
     instance: Instance
     depth_limit: int
-    truncated: bool          # True when some trigger was suppressed
+    truncated: bool          # True when the prefix was cut short
     steps: int
     null_depths: Dict[Null, int]
 
 
 def depth_bounded_chase(instance: Instance, sigma: Iterable[Constraint],
                         depth_limit: int,
-                        max_steps: int = 50_000) -> BoundedChaseResult:
+                        max_steps: int = 50_000,
+                        max_facts: Optional[int] = None,
+                        wall_clock: Optional[float] = None
+                        ) -> BoundedChaseResult:
     """Chase, but never create nulls of derivation depth beyond
     ``depth_limit``.
 
@@ -53,6 +65,15 @@ def depth_bounded_chase(instance: Instance, sigma: Iterable[Constraint],
     guarded-chase-forest level of [5] and the quantity that
     c-chase graphs / k-restriction systems bound data-independently
     (proofs of Theorems 3 and 7, citing [11]).
+
+    ``max_facts`` / ``wall_clock`` bound the prefix like the runner's
+    budgets bound a chase: exhausting either simply truncates earlier
+    (``truncated=True``) -- every prefix is sound for constants-only
+    answers, so a budget cut costs completeness, never soundness.
+    A wall-clock cut makes the prefix timing-dependent; callers that
+    cache results must not cache those (the query service already
+    carries the non-cacheable ``EXCEEDED_WALL_CLOCK`` status whenever
+    a wall clock was the reason it fell back here).
     """
     sigma = list(sigma)
     working = instance.copy()
@@ -60,7 +81,15 @@ def depth_bounded_chase(instance: Instance, sigma: Iterable[Constraint],
     truncated = False
     steps = 0
     progress = True
+    deadline = (None if wall_clock is None
+                else time.monotonic() + wall_clock)
     while progress and steps < max_steps:
+        if max_facts is not None and len(working) >= max_facts:
+            truncated = True
+            break
+        if deadline is not None and time.monotonic() > deadline:
+            truncated = True
+            break
         progress = False
         for constraint in sigma:
             fired = False
@@ -107,22 +136,97 @@ def default_depth(query: ConjunctiveQuery,
     return len(query.body) + max(body_sizes, default=1) + 2
 
 
+def optimize_query(query: ConjunctiveQuery,
+                   sigma: Iterable[Constraint],
+                   depth_limit: Optional[int] = None,
+                   max_steps: int = 2_000) -> ConjunctiveQuery:
+    """Section 4's semantic optimization, wired for answering.
+
+    Chase the frozen query under ``sigma`` -- the strategy pinned from
+    the memoized :func:`~repro.termination.report.analyze` report
+    (Theorem 2's stratum order for stratified-only sets, the default
+    otherwise), falling back to the depth-bounded prefix of
+    :func:`depth_bounded_chase` when no Figure 1 condition guarantees
+    a terminating sequence -- then unfreeze and minimize via the core
+    (:func:`repro.cq.optimize.minimize_query`).
+
+    Every chase step on the canonical instance preserves
+    Sigma-equivalence, so even a truncated prefix unfreezes into an
+    equivalent (if not necessarily universal) plan; the exact fixpoint
+    is only needed for rewriting *completeness*.  Both the minimized
+    plan and the minimized original are Sigma-equivalent to ``query``,
+    so the one with the smaller body wins (ties go to the original's
+    minimization -- without a cost model, the join *introduction* of
+    the paper's ``q2'''`` is not assumed beneficial): chases that
+    merge variables through EGDs genuinely shrink the query, chases
+    that only add atoms fall back to plain core minimization.  The
+    original query is returned untouched when optimization cannot
+    help soundly: the canonical instance fails (an EGD equates two
+    distinct query constants) or an EGD collapses a head variable
+    away.
+    """
+    from repro.cq.optimize import minimize_query
+    from repro.termination.report import analyze
+    sigma = list(sigma)
+    if not sigma:
+        return minimize_query(query)
+    if any(isinstance(arg, Null) for atom in query.body
+           for arg in atom.args):
+        # Labeled nulls in a query body match themselves exactly, but
+        # unfreezing a chased canonical instance would rename them to
+        # fresh (more permissive) variables -- skip the chase step and
+        # only core-minimize.
+        return minimize_query(query)
+    frozen, var_map = query.freeze()
+    report = analyze(sigma)
+    try:
+        chased: Optional[Instance] = None
+        if report.guarantees_some_sequence:
+            result = chase(frozen, sigma,
+                           strategy=report.recommended_strategy(),
+                           max_steps=max_steps)
+            if result.status is ChaseStatus.TERMINATED:
+                chased = result.instance
+        if chased is None:
+            if depth_limit is None:
+                depth_limit = default_depth(query, sigma)
+            chased = depth_bounded_chase(frozen, sigma, depth_limit,
+                                         max_steps).instance
+        from_plan = minimize_query(unfreeze(chased, var_map, query))
+        from_original = minimize_query(query)
+        return (from_plan if len(from_plan.body) < len(from_original.body)
+                else from_original)
+    except (ChaseFailure, SchemaError):
+        return query
+
+
 def certain_answers(instance: Instance, sigma: Iterable[Constraint],
                     query: ConjunctiveQuery,
                     depth_limit: Optional[int] = None,
-                    max_steps: int = 50_000
+                    max_steps: int = 50_000,
+                    optimize: bool = False
                     ) -> Set[Tuple[GroundTerm, ...]]:
     """Answers of ``query`` on the implied knowledge base ``I^Sigma``.
 
     Tries the exact chase first; if it exceeds the budget, falls back
     to the depth-bounded prefix (sound for constants-only answers on
     guarded-null workloads; complete for depth limits large enough
-    relative to the query).
+    relative to the query).  Evaluation runs through the compiled
+    id-level path of :mod:`repro.cq.evaluate`.
+
+    With ``optimize``, the Sigma-equivalent rewriting of
+    :func:`optimize_query` is evaluated instead of ``query`` -- but
+    only on the exact path: ``I^Sigma`` satisfies ``sigma``, so
+    equivalent queries agree there, whereas a truncated prefix need
+    not satisfy ``sigma`` and is always evaluated with the original
+    query.
     """
     sigma = list(sigma)
     exact = chase(instance, sigma, max_steps=max_steps)
     if exact.status is ChaseStatus.TERMINATED:
-        return query.evaluate(exact.instance, constants_only=True)
+        target = (optimize_query(query, sigma, depth_limit=depth_limit)
+                  if optimize else query)
+        return target.evaluate(exact.instance, constants_only=True)
     if depth_limit is None:
         depth_limit = default_depth(query, sigma)
     bounded = depth_bounded_chase(instance, sigma, depth_limit, max_steps)

@@ -62,7 +62,7 @@ def restricted_guards(sigma: Iterable[Constraint],
 
     Uses the per-constraint flow refinement of the 2-restriction
     system (the semantics of the paper's Section 3.7 ``f(alpha_i)``
-    table and of Example 19; see DESIGN.md): each TGD needs a body
+    table and of Example 19; see docs/PAPER_MAP.md): each TGD needs a body
     atom covering the variables occurring at *its own* incoming null
     positions ``f(alpha)``.
     """

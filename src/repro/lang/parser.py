@@ -127,7 +127,11 @@ class _Parser:
             value = float(token.text) if "." in token.text else int(token.text)
             return Constant(value)
         if token.kind == "string":
-            return Constant(token.text[1:-1].replace("\\'", "'"))
+            # Unescape any backslash-escaped character (the renderer
+            # escapes backslashes and quotes; the lexer's string rule
+            # admits arbitrary \x pairs).
+            return Constant(re.sub(r"\\(.)", r"\1",
+                                   token.text[1:-1]))
         if token.kind == "null":
             name = token.text[1:]
             if name not in self._null_cache:
@@ -253,22 +257,45 @@ def render_constraints(sigma: Iterable[Constraint]) -> str:
     return "\n".join(lines)
 
 
+def _render_term(term: Term) -> str:
+    """Render a variable/constant/null in the re-parseable text
+    format."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        if isinstance(term.value, (int, float)):
+            return str(term.value)
+        # Backslashes before quotes, or a value ending in a backslash
+        # renders as an escaped closing quote and fails to re-parse.
+        escaped = str(term.value).replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(term, Null) and term.label >= 0:
+        # ``?n7`` round-trips; negative labels (parse-local named
+        # nulls, internal freezes) have no textual form.
+        return f"?n{term.label}"
+    raise ParseError(f"cannot render term {term!r} in rule position")
+
+
+def _render_atom(atom: Atom) -> str:
+    return f"{atom.relation}({', '.join(_render_term(t) for t in atom.args)})"
+
+
 def _render_constraint_body(constraint: Constraint) -> str:
-    def render_term(term: Term) -> str:
-        if isinstance(term, Variable):
-            return term.name
-        if isinstance(term, Constant):
-            if isinstance(term.value, (int, float)):
-                return str(term.value)
-            return "'" + str(term.value).replace("'", "\\'") + "'"
-        raise ParseError(f"cannot render term {term!r} inside a constraint")
-
-    def render_atom(atom: Atom) -> str:
-        return f"{atom.relation}({', '.join(render_term(t) for t in atom.args)})"
-
-    body = ", ".join(render_atom(a) for a in constraint.body)
+    body = ", ".join(_render_atom(a) for a in constraint.body)
     if isinstance(constraint, TGD):
-        head = ", ".join(render_atom(a) for a in constraint.head)
+        head = ", ".join(_render_atom(a) for a in constraint.head)
         return f"{body} -> {head}" if body else f"-> {head}"
     assert isinstance(constraint, EGD)
     return f"{body} -> {constraint.lhs.name} = {constraint.rhs.name}"
+
+
+def render_query(query) -> str:
+    """Render a conjunctive query in re-parseable ``head <- body`` form
+    (the wire and fingerprint encoding of query jobs).  Queries with
+    empty bodies cannot be expressed in the text format."""
+    if not query.body:
+        raise ParseError(f"cannot render the body-less query "
+                         f"{query.name!r} in the text format")
+    head = ", ".join(_render_term(t) for t in query.head)
+    body = ", ".join(_render_atom(a) for a in query.body)
+    return f"{query.name}({head}) <- {body}"

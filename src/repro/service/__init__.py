@@ -12,7 +12,11 @@ a fingerprint-keyed cache without re-executing anything.
   process boundary);
 * :mod:`repro.service.jobs` -- the declarative :class:`ChaseJob` spec
   with canonical content fingerprints over interned term/fact ids,
-  plus in-process execution;
+  plus in-process execution and the job-kind dispatch;
+* :mod:`repro.service.query` -- certain-answer :class:`QueryJob`
+  requests (Section 5 as a served workload: compiled CQ evaluation,
+  Section 4 semantic optimization, depth-bounded fallback) sharing
+  the same result form, cache, pool and scheduler;
 * :mod:`repro.service.cache` -- bounded LRU caches for job results and
   termination reports;
 * :mod:`repro.service.pool` -- a ``multiprocessing`` worker pool with
@@ -23,23 +27,28 @@ a fingerprint-keyed cache without re-executing anything.
   a strategy, runs guaranteed-terminating jobs ahead of budget-capped
   unknown ones, and streams progress events.
 
-CLI entry points: ``repro batch <dir>`` and ``repro serve``.
+CLI entry points: ``repro batch <dir>``, ``repro serve`` and
+``repro query``.
 """
 
 from repro.service.cache import LRUCache, ServiceCache
-from repro.service.jobs import (ChaseJob, execute_job, instance_fingerprint,
-                                JobResult, ProgressEvent, resolve_strategy,
-                                STATUS_ERROR, STATUS_KILLED)
+from repro.service.jobs import (ChaseJob, execute_any, execute_job,
+                                instance_fingerprint, job_from_dict,
+                                job_from_path, JobResult, ProgressEvent,
+                                resolve_strategy, STATUS_ERROR,
+                                STATUS_KILLED)
 from repro.service.pool import WorkerPool
+from repro.service.query import execute_query_job, QueryJob
 from repro.service.scheduler import BatchScheduler
 from repro.service.serialize import (decode_atom, decode_instance,
                                      decode_result, encode_atom,
                                      encode_instance, encode_result)
 
 __all__ = [
-    "BatchScheduler", "ChaseJob", "execute_job", "instance_fingerprint",
-    "JobResult", "LRUCache", "ProgressEvent", "resolve_strategy",
-    "ServiceCache", "STATUS_ERROR", "STATUS_KILLED", "WorkerPool",
-    "decode_atom", "decode_instance", "decode_result", "encode_atom",
-    "encode_instance", "encode_result",
+    "BatchScheduler", "ChaseJob", "execute_any", "execute_job",
+    "execute_query_job", "instance_fingerprint", "job_from_dict",
+    "job_from_path", "JobResult", "LRUCache", "ProgressEvent", "QueryJob",
+    "resolve_strategy", "ServiceCache", "STATUS_ERROR", "STATUS_KILLED",
+    "WorkerPool", "decode_atom", "decode_instance", "decode_result",
+    "encode_atom", "encode_instance", "encode_result",
 ]

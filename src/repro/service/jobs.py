@@ -127,6 +127,49 @@ def resolve_strategy(spec: Optional[str],
                      f"(expected one of {_STRATEGY_NAMES})")
 
 
+def decode_spec_instance(raw_instance, backend: Optional[str]) -> Instance:
+    """Decode a job spec's instance field: either instance text (bare
+    identifiers are constants, ``?n7`` nulls) or the wire dict of
+    :func:`repro.service.serialize.encode_instance`."""
+    if isinstance(raw_instance, dict):
+        return Instance((decode_atom(fact) for fact in raw_instance["facts"]),
+                        backend=backend or raw_instance.get("backend"))
+    return Instance(parse_atoms(raw_instance, instance_mode=True),
+                    backend=backend)
+
+
+def spec_value(payload: dict, key: str, default, convert):
+    """A knob from a job spec dict: explicit JSON ``null`` (or an
+    absent key) means "use the default", anything else is converted.
+    Shared by every job kind's ``from_dict``."""
+    value = payload.get(key)
+    return default if value is None else convert(value)
+
+
+def spec_bool(key: str):
+    """A strict boolean converter for :func:`spec_value`: JSON
+    true/false only.  ``bool("false")`` is True, so coercing strings
+    would silently invert a hand-written opt-out."""
+    def convert(value):
+        if not isinstance(value, bool):
+            raise WireError(f"{key} must be true or false, "
+                            f"got {value!r}")
+        return value
+    return convert
+
+
+def load_spec_file(path) -> Tuple[dict, str]:
+    """Read a JSON job spec file; returns ``(payload, stem)`` with
+    JSON errors wrapped as :class:`WireError` (one loader for every
+    job kind's ``from_path`` and for :func:`job_from_path`)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise WireError(f"{path}: invalid job JSON ({exc})") from exc
+    return payload, path.stem
+
+
 @dataclass(frozen=True)
 class ChaseJob:
     """A declarative chase request.
@@ -138,6 +181,9 @@ class ChaseJob:
     monitor; ``max_k`` bounds the termination probe used by ``auto``
     strategy resolution and by the scheduler.
     """
+
+    #: Wire discriminator (see :func:`job_from_dict`).
+    kind = "chase"
 
     name: str
     sigma: Tuple[Constraint, ...]
@@ -222,40 +268,26 @@ class ChaseJob:
             constraints = "\n".join(constraints)
         sigma = tuple(parse_constraints(constraints))
         backend = payload.get("backend")
-        if isinstance(raw_instance, dict):
-            instance = Instance(
-                (decode_atom(fact) for fact in raw_instance["facts"]),
-                backend=backend or raw_instance.get("backend"))
-        else:
-            instance = Instance(parse_atoms(raw_instance,
-                                            instance_mode=True),
-                                backend=backend)
-        def given(key, default, convert):
-            value = payload.get(key)
-            return default if value is None else convert(value)
-
+        instance = decode_spec_instance(raw_instance, backend)
         return cls(
             name=payload.get("name") or name or "job",
             sigma=sigma,
             instance=instance,
-            strategy=given("strategy", "auto", str),
+            strategy=spec_value(payload, "strategy", "auto", str),
             backend=backend,
-            max_steps=given("max_steps", DEFAULT_MAX_STEPS, int),
-            max_facts=given("max_facts", None, int),
-            wall_clock=given("wall_clock", None, float),
-            cycle_limit=given("cycle_limit", 0, int),
-            max_k=given("max_k", 3, int),
+            max_steps=spec_value(payload, "max_steps",
+                                 DEFAULT_MAX_STEPS, int),
+            max_facts=spec_value(payload, "max_facts", None, int),
+            wall_clock=spec_value(payload, "wall_clock", None, float),
+            cycle_limit=spec_value(payload, "cycle_limit", 0, int),
+            max_k=spec_value(payload, "max_k", 3, int),
         )
 
     @classmethod
     def from_path(cls, path) -> "ChaseJob":
         """Load a job from a JSON file (name defaults to the stem)."""
-        path = Path(path)
-        try:
-            payload = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
-            raise WireError(f"{path}: invalid job JSON ({exc})") from exc
-        return cls.from_dict(payload, name=path.stem)
+        payload, stem = load_spec_file(path)
+        return cls.from_dict(payload, name=stem)
 
     def with_updates(self, **changes) -> "ChaseJob":
         """A copy with the given fields replaced (scheduler rewrites)."""
@@ -270,6 +302,15 @@ class JobResult:
     enforced a hard timeout or a cancellation) or ``"error"`` (the job
     raised).  ``facts`` is the canonical encoding of the final
     instance (None for killed/error jobs).
+
+    Query jobs (:class:`repro.service.query.QueryJob`) share this
+    result type: they carry their certain answers in ``answers``
+    (sorted encoded term rows; None on chase jobs and on killed/error
+    query jobs), the evaluated -- possibly semantically optimized --
+    query text in ``query``, and ``truncated=True`` when the exact
+    chase blew a budget and the answers come from the depth-bounded
+    prefix.  ``facts`` stays None for query jobs: the answer relation,
+    not the chased instance, is their deliverable.
     """
 
     job: str
@@ -282,6 +323,9 @@ class JobResult:
     elapsed: float = 0.0
     cached: bool = False
     worker: str = "inproc"
+    answers: Optional[List[list]] = None
+    query: Optional[str] = None
+    truncated: bool = False
 
     @property
     def ok(self) -> bool:
@@ -312,7 +356,8 @@ class JobResult:
             "new_nulls": self.new_nulls, "facts": self.facts,
             "failure_reason": self.failure_reason,
             "elapsed": self.elapsed, "cached": self.cached,
-            "worker": self.worker,
+            "worker": self.worker, "answers": self.answers,
+            "query": self.query, "truncated": self.truncated,
         }
 
     @classmethod
@@ -322,12 +367,57 @@ class JobResult:
     def describe(self) -> str:
         origin = "cache" if self.cached else self.worker
         reason = f" ({self.failure_reason})" if self.failure_reason else ""
+        if self.answers is not None:
+            prefix = "truncated-prefix " if self.truncated else ""
+            return (f"{self.job}: {self.status} after {self.steps} steps, "
+                    f"{len(self.answers)} {prefix}answers, "
+                    f"{self.elapsed:.3f}s [{origin}]{reason}")
         return (f"{self.job}: {self.status} after {self.steps} steps, "
                 f"{len(self.facts or [])} facts, {self.elapsed:.3f}s "
                 f"[{origin}]{reason}")
 
 
 EventCallback = Callable[[ProgressEvent], None]
+
+
+def run_declared_chase(job, on_event: Optional[EventCallback] = None,
+                       progress_every: int = 0):
+    """Run the chase a job spec declares; returns
+    ``(result, instance, sigma)``.
+
+    The one place the spec knobs become a chase run -- backend
+    rebuild, strategy resolution, progress-observer wiring, private
+    :class:`NullFactory`, Section 4.2 monitor arming, budget
+    passthrough -- shared by :func:`execute_job` and
+    :func:`repro.service.query.execute_query_job` so both job kinds
+    get identical runner semantics for identical knobs.
+    """
+    sigma = list(job.sigma)
+    instance = job.instance
+    if job.backend and instance.backend != job.backend:
+        instance = Instance(instance, backend=job.backend)
+    strategy = resolve_strategy(job.strategy, sigma, max_k=job.max_k)
+    observers = []
+    if on_event is not None and progress_every > 0:
+        def progress(step, working):
+            if (step.index + 1) % progress_every == 0:
+                on_event(ProgressEvent(
+                    "progress", job.name,
+                    {"steps": step.index + 1, "facts": len(working)}))
+        observers.append(progress)
+    nulls = NullFactory()
+    if job.cycle_limit > 0:
+        result = monitored_chase(
+            instance, sigma, job.cycle_limit, strategy=strategy,
+            max_steps=job.max_steps, observers=observers,
+            max_facts=job.max_facts, wall_clock=job.wall_clock,
+            nulls=nulls).result
+    else:
+        result = chase(instance, sigma, strategy=strategy,
+                       max_steps=job.max_steps, observers=observers,
+                       max_facts=job.max_facts,
+                       wall_clock=job.wall_clock, nulls=nulls)
+    return result, instance, sigma
 
 
 def execute_job(job: ChaseJob,
@@ -353,31 +443,8 @@ def execute_job(job: ChaseJob,
     started = time.perf_counter()
     fingerprint = job.fingerprint()
     try:
-        sigma = list(job.sigma)
-        instance = job.instance
-        if job.backend and instance.backend != job.backend:
-            instance = Instance(instance, backend=job.backend)
-        strategy = resolve_strategy(job.strategy, sigma, max_k=job.max_k)
-        observers = []
-        if on_event is not None and progress_every > 0:
-            def progress(step, working):
-                if (step.index + 1) % progress_every == 0:
-                    on_event(ProgressEvent(
-                        "progress", job.name,
-                        {"steps": step.index + 1, "facts": len(working)}))
-            observers.append(progress)
-        nulls = NullFactory()
-        if job.cycle_limit > 0:
-            result = monitored_chase(
-                instance, sigma, job.cycle_limit, strategy=strategy,
-                max_steps=job.max_steps, observers=observers,
-                max_facts=job.max_facts, wall_clock=job.wall_clock,
-                nulls=nulls).result
-        else:
-            result = chase(instance, sigma, strategy=strategy,
-                           max_steps=job.max_steps, observers=observers,
-                           max_facts=job.max_facts,
-                           wall_clock=job.wall_clock, nulls=nulls)
+        result, _, _ = run_declared_chase(job, on_event=on_event,
+                                          progress_every=progress_every)
         return JobResult(
             job=job.name, fingerprint=fingerprint,
             status=result.status.value, steps=result.length,
@@ -392,3 +459,54 @@ def execute_job(job: ChaseJob,
     return JobResult(job=job.name, fingerprint=fingerprint,
                      status=STATUS_ERROR, failure_reason=reason,
                      elapsed=time.perf_counter() - started, worker=worker)
+
+
+# ----------------------------------------------------------------------
+# Job-kind dispatch
+# ----------------------------------------------------------------------
+def job_from_dict(payload: dict, name: Optional[str] = None):
+    """Build the right job kind from a spec dict.
+
+    Specs carry an optional ``kind`` discriminator (``chase`` /
+    ``query``); for convenience a spec with a ``query`` field and no
+    ``kind`` is treated as a query job, so hand-written query files
+    need no boilerplate.  Everything downstream of this point -- the
+    scheduler's planning, the fingerprint cache, the worker pool's
+    wire protocol -- is shared between the kinds.
+    """
+    if not isinstance(payload, dict):
+        raise WireError(f"job spec must be an object, got {payload!r}")
+    kind = payload.get("kind")
+    if kind == "query" or (kind is None and "query" in payload):
+        from repro.service.query import QueryJob
+        return QueryJob.from_dict(payload, name=name)
+    if kind not in (None, "chase"):
+        raise WireError(f"unknown job kind {kind!r} "
+                        "(expected 'chase' or 'query')")
+    return ChaseJob.from_dict(payload, name=name)
+
+
+def job_from_path(path):
+    """Load a chase or query job from a JSON spec file (the name
+    defaults to the file stem)."""
+    payload, stem = load_spec_file(path)
+    return job_from_dict(payload, name=stem)
+
+
+def execute_any(job, on_event: Optional[EventCallback] = None,
+                progress_every: int = 0, worker: str = "inproc"
+                ) -> JobResult:
+    """Execute a job of any kind in this process.
+
+    Query jobs bring their own executor
+    (:meth:`~repro.service.query.QueryJob.run_in_process`); plain
+    chase jobs run through :func:`execute_job`.  The pool's worker
+    loop and its in-process degradation path both funnel through
+    here, so every job kind gets the same isolation guarantees.
+    """
+    runner = getattr(job, "run_in_process", None)
+    if runner is not None:
+        return runner(on_event=on_event, progress_every=progress_every,
+                      worker=worker)
+    return execute_job(job, on_event=on_event,
+                       progress_every=progress_every, worker=worker)

@@ -1,8 +1,10 @@
-"""A multiprocessing worker pool for chase jobs.
+"""A multiprocessing worker pool for chase and query jobs.
 
 The pool keeps up to ``workers`` **persistent worker processes**, each
 running a small job loop: receive a job spec over its pipe, execute
-it, send the wire-form result back, wait for the next.  Spawning is
+it (any job kind -- the loop dispatches through
+:func:`repro.service.jobs.job_from_dict` / ``execute_any``), send the
+wire-form result back, wait for the next.  Spawning is
 paid once per worker (not once per job), so batch throughput scales
 with workers instead of drowning in fork overhead; a worker that gets
 killed (hard timeout, cancellation) is simply replaced by a fresh one
@@ -49,9 +51,9 @@ from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, List, Optional, Sequence
 
-from repro.service.jobs import (ChaseJob, EventCallback, execute_job,
-                                JobResult, ProgressEvent, STATUS_ERROR,
-                                STATUS_KILLED)
+from repro.service.jobs import (ChaseJob, EventCallback, execute_any,
+                                job_from_dict, JobResult, ProgressEvent,
+                                STATUS_ERROR, STATUS_KILLED)
 
 #: Pipe sentinel telling a worker loop to exit cleanly.
 _STOP = None
@@ -86,7 +88,7 @@ def _worker_loop(conn) -> None:
             break
         payload, progress_every = message
         try:
-            job = ChaseJob.from_dict(payload)
+            job = job_from_dict(payload)
             on_event: Optional[EventCallback] = None
             if progress_every > 0:
                 def on_event(event: ProgressEvent) -> None:
@@ -95,7 +97,7 @@ def _worker_loop(conn) -> None:
                                    event.detail))
                     except (BrokenPipeError, OSError):  # parent went away
                         pass
-            result = execute_job(job, on_event=on_event,
+            result = execute_any(job, on_event=on_event,
                                  progress_every=progress_every,
                                  worker=worker)
         except Exception:                             # noqa: BLE001
@@ -205,7 +207,7 @@ class WorkerPool:
                                    {"reason": "cancelled"}))
                 continue
             emit(ProgressEvent("started", job.name, {"worker": "inproc"}))
-            result = execute_job(job, on_event=emit,
+            result = execute_any(job, on_event=emit,
                                  progress_every=self.progress_every)
             self.executed += 1
             results.append(result)
@@ -268,7 +270,7 @@ class WorkerPool:
                             emit(ProgressEvent("killed", job.name,
                                                {"reason": "cancelled"}))
                             continue
-                        results[index] = execute_job(
+                        results[index] = execute_any(
                             job, on_event=emit,
                             progress_every=self.progress_every)
                         self.executed += 1

@@ -31,8 +31,9 @@ def is_c_stratified(sigma: Iterable[Constraint],
     """Definition 5 over the corrected ``<_c``.
 
     ``printed_variant=True`` uses Definition 4 exactly as printed in
-    the technical report (retaining its condition (i)); see DESIGN.md
-    for why the corrected relation is the reproducible one.
+    the technical report (retaining its condition (i)); see
+    docs/PAPER_MAP.md ("Deviations and interpretation points") for why
+    the corrected relation is the reproducible one.
     """
     graph = c_chase_graph(sigma, oracle, printed_variant=printed_variant)
     for component in nontrivial_sccs(graph):

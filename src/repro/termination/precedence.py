@@ -16,9 +16,10 @@ violation are searched.  Every body atom either matches an existing fact
 constraint constants, or fresh labeled nulls.  Created atoms never
 contain step-created nulls (``I0`` predates the steps).  For TGD-only
 inputs this search is complete: any real witness restricts to an
-isomorphic copy reachable by the search (see DESIGN.md).
+isomorphic copy reachable by the search (see docs/PAPER_MAP.md).
 
-Two interpretation points, fixed here and documented in DESIGN.md:
+Two interpretation points, fixed here and documented in
+docs/PAPER_MAP.md ("Deviations and interpretation points"):
 
 * **Definition 4 erratum.**  As printed, Def. 4 keeps condition
   "(i) I |/= alpha(a)", under which the oblivious step never differs
@@ -262,7 +263,8 @@ def _undo_step(ctx: _Ctx, record: _StepRecord) -> None:
 
 
 def _replay_without(ctx: _Ctx, skip_index: int) -> Optional[Set[Atom]]:
-    """Semantics (E) of DESIGN.md: replay all steps except
+    """The skip-replay semantics of docs/PAPER_MAP.md (Def. 14
+    interpretation point): replay all steps except
     ``skip_index`` in order with original parameters and nulls; TGD
     steps whose body is absent are no-ops.  Returns the resulting fact
     set, or None if the replay is undefined."""
@@ -581,7 +583,7 @@ class PrecedenceOracle:
         """``alpha <_c beta``: an *oblivious* alpha-step can newly
         violate beta.  ``printed_variant=True`` re-adds the (i)
         condition exactly as printed in the technical report (under
-        which Example 7 does not check out; see DESIGN.md)."""
+        which Example 7 does not check out; see docs/PAPER_MAP.md)."""
         key = ("c", alpha, beta, printed_variant)
         if key not in self._plain:
             self._plain[key] = _search((alpha, beta), None, printed_variant,

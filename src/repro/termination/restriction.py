@@ -139,7 +139,7 @@ class FlowRestrictionSystem:
     with the edge test ``alpha <_{f(alpha)} beta``.  It is finer than
     the global Definition 12 fixpoint (whose literal both-endpoint
     closure grows ``f`` past the paper's own Example 19 values; see
-    DESIGN.md) and satisfies ``f(alpha) subseteq aff(Sigma)`` (the
+    docs/PAPER_MAP.md) and satisfies ``f(alpha) subseteq aff(Sigma)`` (the
     containment behind Lemma 7's WG => RG direction).
     """
 

@@ -97,3 +97,64 @@ def mixed_batch_specs(n_jobs: int, seed: int = 0,
         specs.append(job_spec(family, size,
                               name=f"{family}_{size}_{index}"))
     return specs
+
+
+# ----------------------------------------------------------------------
+# Certain-answer query specs (the input format of ``repro query`` and
+# :meth:`repro.service.query.QueryJob.from_dict`)
+# ----------------------------------------------------------------------
+#: The cycling order of query families in a mixed query batch:
+#: ``chain_join``  -- join of two copied relations over a chain
+#:                    (terminating, exact path);
+#: ``safe_join``   -- Example 8/9's safe set with a join through the
+#:                    created nulls (terminating, null filtering);
+#: ``guarded``     -- the Introduction's divergent guarded set
+#:                    (depth-bounded fallback, truncated answers).
+QUERY_FAMILIES = ("chain_join", "safe_join", "guarded")
+
+
+def query_spec(family: str, size: int, name: Optional[str] = None,
+               max_steps: int = 10_000, **overrides) -> dict:
+    """One certain-answer query spec of the given family and size."""
+    if family == "chain_join":
+        sigma = full_tgd_chain(3)
+        instance = chain_instance(size, relation="R0")
+        query = "q(x, z) <- R3(x, y), R3(y, z)"
+    elif family == "safe_join":
+        sigma = example8_beta()
+        instance = example9_instance(size)
+        query = "q(x1, x3) <- R(x1, x2, x3), S(x3)"
+    elif family == "guarded":
+        from repro.workloads.paper import intro_alpha2
+        sigma = intro_alpha2()
+        instance = special_nodes_instance(max(2, size // 2))
+        query = "q(u) <- S(u), E(u, v)"
+        max_steps = min(max_steps, 1000)
+    else:
+        raise ValueError(f"unknown query family {family!r} "
+                         f"(expected one of {QUERY_FAMILIES})")
+    spec = {
+        "kind": "query",
+        "name": name or f"{family}_{size}",
+        "constraints": render_constraints(sigma),
+        "instance": render_instance(instance),
+        "query": query,
+        "strategy": "auto",
+        "max_steps": max_steps,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def query_batch_specs(n_jobs: int, seed: int = 0,
+                      min_size: int = 3, max_size: int = 8) -> List[dict]:
+    """``n_jobs`` query specs cycling the families with seeded sizes
+    (duplicates included, like :func:`mixed_batch_specs`)."""
+    rng = random.Random(seed)
+    specs = []
+    for index in range(n_jobs):
+        family = QUERY_FAMILIES[index % len(QUERY_FAMILIES)]
+        size = rng.randint(min_size, max_size)
+        specs.append(query_spec(family, size,
+                                name=f"{family}_{size}_{index}"))
+    return specs

@@ -1,15 +1,43 @@
-"""The Section 4 SQO pipeline on the travel-agency scenario."""
+"""The Section 4 SQO pipeline on the travel-agency scenario, plus
+core minimization."""
 
 import pytest
 
 from repro.cq.containment import equivalent
-from repro.cq.optimize import optimize, universal_plan
+from repro.cq.optimize import minimize_query, optimize, universal_plan
 from repro.lang.errors import NonTerminationBudget
 from repro.lang.parser import parse_constraints, parse_query
 from repro.workloads.paper import (figure9, query_q1, query_q2,
                                    query_q2_double_prime,
                                    query_q2_expected_plan,
                                    query_q2_triple_prime)
+
+
+class TestMinimizeQuery:
+    def test_redundant_atom_folds_away(self):
+        minimized = minimize_query(parse_query("q(x) <- E(x, y), E(x, z)"))
+        assert len(minimized.body) == 1
+        assert equivalent(minimized, parse_query("q(x) <- E(x, y)"))
+
+    def test_head_variables_block_folding(self):
+        assert len(minimize_query(
+            parse_query("q(x, y) <- E(x, y), E(y, x)")).body) == 2
+
+    def test_body_constants_stay_rigid(self):
+        query = parse_query("q(x) <- E(x, 'a'), E(x, y)")
+        minimized = minimize_query(query)
+        # E(x, y) folds onto E(x, 'a'); the constant atom survives
+        assert len(minimized.body) == 1
+        assert minimized.body[0] == query.body[0]
+
+    def test_body_nulls_stay_rigid(self):
+        """Source-side nulls match themselves exactly in evaluation,
+        so minimization must keep them rigid rather than fold them
+        (regression: KeyError on the thaw map)."""
+        query = parse_query("q(x) <- E(x, ?n7), E(x, y)")
+        minimized = minimize_query(query)
+        assert len(minimized.body) == 1
+        assert minimized.body[0] == query.body[0]
 
 
 class TestUniversalPlan:

@@ -196,6 +196,88 @@ def test_batch_example_jobs_ship_and_run(capsys):
 
 
 # ----------------------------------------------------------------------
+# query
+# ----------------------------------------------------------------------
+QUERY_SPEC = {"constraints": TERMINATING, "instance": "E(a, b). S(a).",
+              "query": "q(x) <- S(x), E(x, y)"}
+
+
+def test_query_spec_file(tmp_path, capsys):
+    spec = tmp_path / "q.json"
+    spec.write_text(json.dumps(QUERY_SPEC))
+    assert main(["query", str(spec)]) == 0
+    captured = capsys.readouterr()
+    assert "q: terminated" in captured.out
+    assert "(a)" in captured.out
+    assert "1 completed" in captured.err
+
+
+def test_query_inline_constraints(constraint_file, instance_file, capsys):
+    code = main(["query", constraint_file(TERMINATING),
+                 "--instance", instance_file,
+                 "--query", "q(x, y) <- E(x, y)"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "(a, b)" in out and "evaluated:" in out
+
+
+def test_query_inline_requires_instance_and_query(constraint_file, capsys):
+    assert main(["query", constraint_file(TERMINATING)]) == 2
+    assert "--instance and --query" in capsys.readouterr().err
+
+
+def test_query_rejects_chase_specs(jobs_dir, capsys):
+    assert main(["query", str(jobs_dir)]) == 2
+    assert "not query-job specs" in capsys.readouterr().err
+
+
+def test_query_json_output_and_truncation(tmp_path, capsys):
+    spec = tmp_path / "divergent.json"
+    spec.write_text(json.dumps({
+        "constraints": DIVERGENT, "instance": "S(a). E(a, b). S(b).",
+        "query": "q(u) <- S(u), E(u, v)", "max_steps": 150}))
+    assert main(["query", str(spec), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out.strip())
+    assert payload["status"] == "exceeded_budget"
+    assert payload["truncated"] is True
+    assert payload["answers"] == [[["c", "a"]], [["c", "b"]]]
+
+
+def test_query_example_specs_ship_and_run(capsys):
+    """The acceptance smoke: the shipped examples/queries specs run
+    end to end (also exercised by `make test-service` in CI)."""
+    from pathlib import Path
+    queries = Path(__file__).resolve().parents[2] / "examples" / "queries"
+    assert main(["query", str(queries), "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "stratified_only: terminated" in out
+    assert "depth_bounded_guarded: exceeded_budget" in out
+    assert "truncated-prefix answers" in out
+
+
+def test_batch_accepts_query_specs(tmp_path, capsys):
+    """Query specs ride along in a plain batch directory."""
+    jobs = tmp_path / "mixed"
+    jobs.mkdir()
+    (jobs / "a_chase.json").write_text(json.dumps({
+        "constraints": TERMINATING, "instance": "S(a). S(b)."}))
+    (jobs / "b_query.json").write_text(json.dumps(QUERY_SPEC))
+    assert main(["batch", str(jobs)]) == 0
+    out = capsys.readouterr().out
+    assert "a_chase: terminated" in out
+    assert "b_query: terminated" in out and "answers" in out
+
+
+def test_serve_answers_query_requests(monkeypatch, capsys):
+    request = json.dumps(dict(QUERY_SPEC, name="r1"))
+    replies = serve_lines(monkeypatch, capsys, [request, request, "quit"])
+    assert len(replies) == 2
+    assert replies[0]["answers"] == [[["c", "a"]]]
+    assert replies[1]["cached"] is True
+    assert replies[1]["answers"] == replies[0]["answers"]
+
+
+# ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
 def serve_lines(monkeypatch, capsys, lines, argv=()):

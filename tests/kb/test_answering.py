@@ -38,6 +38,20 @@ class TestDepthBoundedChase:
         depths = sorted(bounded.null_depths.values())
         assert depths == [1, 2]
 
+    def test_fact_budget_truncates_earlier(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        inst = parse_instance("S(a)")
+        capped = depth_bounded_chase(inst, sigma, depth_limit=50,
+                                     max_facts=5)
+        assert capped.truncated and len(capped.instance) <= 7
+
+    def test_wall_clock_budget_truncates(self):
+        sigma = parse_constraints("S(x) -> E(x,y), S(y)")
+        inst = parse_instance("S(a)")
+        capped = depth_bounded_chase(inst, sigma, depth_limit=10_000,
+                                     max_steps=1_000_000, wall_clock=0.0)
+        assert capped.truncated and capped.steps <= 1
+
 
 class TestCertainAnswers:
     def test_exact_path(self):

@@ -104,3 +104,25 @@ class TestRendering:
     @given(graph_tgd_sets(max_size=3))
     def test_roundtrip_random_tgds(self, sigma):
         assert parse_constraints(render_constraints(sigma)) == sigma
+
+    def test_render_query_parses_back(self):
+        from repro.lang.parser import render_query
+        for text in ("q(x, z) <- E(x, y), E(y, z)",
+                     "q(x) <- E(x, 'hub'), S(x)",
+                     "q(u) <- E(u, ?n7)"):
+            query = parse_query(text)
+            assert parse_query(render_query(query)) == query
+
+    def test_render_escapes_quotes_and_backslashes(self):
+        """Regression: a constant ending in a backslash used to render
+        as an escaped closing quote and fail to re-parse -- breaking
+        the job wire format for such constants."""
+        from repro.cq.query import ConjunctiveQuery
+        from repro.lang.atoms import Atom
+        from repro.lang.parser import render_query
+        from repro.lang.terms import Constant, Variable
+        x = Variable("x")
+        for value in ("a\\", "a\\'b", "it's", "\\"):
+            query = ConjunctiveQuery(
+                "q", (x,), (Atom("E", (x, Constant(value))),))
+            assert parse_query(render_query(query)) == query

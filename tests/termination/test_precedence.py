@@ -54,7 +54,7 @@ class TestCPrecedes:
     def test_printed_variant_misses_example7(self):
         """Definition 4 as printed (with condition (i)) does NOT
         produce the edge -- the erratum-of-the-erratum documented in
-        DESIGN.md."""
+        docs/PAPER_MAP.md."""
         a1, a2, a3, a4 = example4()
         assert not precedes_c(a2, a4, printed_variant=True)
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Intra-repo documentation checker (``make docs-check``).
+
+Fails (exit 1, one line per problem) on:
+
+* **broken markdown links** -- ``[text](target)`` in any ``*.md``
+  whose relative target does not exist (anchors and external
+  ``http(s)``/``mailto`` targets are skipped);
+* **references to nonexistent repo files** -- any mention of a
+  ``*.md`` file, or of a path under ``src/ docs/ examples/
+  benchmarks/ tests/ tools/``, in Markdown *or in Python
+  docstrings/comments*, that does not resolve.  This is the class of
+  rot where a module docstring keeps pointing at a design document
+  that was deleted or renamed long ago.
+
+Run from anywhere: paths resolve against the repository root (the
+parent of this file's directory).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown inline links: [text](target)
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Bare mentions of markdown files (README.md, docs/FOO.md, ...)
+MD_FILE_REF = re.compile(r"[A-Za-z0-9_./-]*[A-Za-z0-9_-]+\.md\b")
+#: Paths under the repo's content directories
+REPO_PATH_REF = re.compile(
+    r"\b(?:src|docs|examples|benchmarks|tests|tools)"
+    r"/[A-Za-z0-9_/-]+(?:\.[A-Za-z0-9_]+)?")
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".hypothesis",
+             "node_modules"}
+#: Driver/metadata files quoting external repos or per-PR scratch
+#: state -- their references are not this repository's to validate.
+SKIP_FILES = {"ISSUE.md", "SNIPPETS.md", "PAPERS.md", "CHANGES.md"}
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _tracked(pattern: str) -> Iterator[Path]:
+    for path in sorted(ROOT.rglob(pattern)):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.parent == ROOT and path.name in SKIP_FILES:
+            continue
+        yield path
+
+
+def _exists(token: str, base: Path) -> bool:
+    token = token.rstrip("/")
+    return (ROOT / token).exists() or (base / token).exists()
+
+
+def check_markdown_links(path: Path, problems: List[str]) -> None:
+    text = path.read_text()
+    for target in MD_LINK.findall(text):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        bare = target.split("#", 1)[0]
+        if bare and not _exists(bare, path.parent):
+            problems.append(f"{path.relative_to(ROOT)}: broken link "
+                            f"({target})")
+
+
+def check_file_references(path: Path, problems: List[str]) -> None:
+    text = path.read_text()
+    seen = set()
+    for pattern in (MD_FILE_REF, REPO_PATH_REF):
+        for token in pattern.findall(text):
+            if token in seen or token.startswith(EXTERNAL_PREFIXES):
+                continue
+            seen.add(token)
+            if not _exists(token, path.parent):
+                problems.append(f"{path.relative_to(ROOT)}: reference to "
+                                f"nonexistent file ({token})")
+
+
+def main() -> int:
+    problems: List[str] = []
+    markdown = list(_tracked("*.md"))
+    if not any(p.name == "README.md" and p.parent == ROOT
+               for p in markdown):
+        problems.append("README.md missing at the repository root")
+    for path in markdown:
+        check_markdown_links(path, problems)
+        check_file_references(path, problems)
+    for path in _tracked("*.py"):
+        if path == Path(__file__).resolve():
+            continue
+        check_file_references(path, problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(markdown) + sum(1 for _ in _tracked("*.py")) - 1
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s) in "
+              f"{checked} files", file=sys.stderr)
+        return 1
+    print(f"docs-check: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
