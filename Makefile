@@ -1,10 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-service query-smoke bench bench-smoke bench-json docs-check
+.PHONY: test test-fast test-service query-smoke fuzz-smoke bench bench-smoke bench-json docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Tier-1 minus the marked-slow stress tests -- the quick inner loop.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow and not fuzz"
+
+# Seeded metamorphic smoke corpus: 200 generated constraint sets
+# through every oracle (hierarchy, termination, backend/engine parity,
+# core isomorphism, certain answers, service parity).  Deterministic
+# for a fixed seed; minimized repro specs for any violation land in
+# examples/repros/.  Budgeted to finish well under a minute.
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --seed 0 --cases 200 --repro-dir examples/repros
 
 # Service-layer smoke: worker pool (2 workers), budget kills, cache,
 # batch/serve CLI -- plus a real `repro batch` over the example jobs.

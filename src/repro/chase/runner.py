@@ -53,6 +53,18 @@ class AbortChase(Exception):
 DEFAULT_MAX_STEPS = 10_000
 
 
+def _guard_fresh_nulls(working: Instance, nulls: NullFactory) -> None:
+    """Make the factory's future labels disjoint from the instance's.
+
+    Source instances may carry labeled nulls (``?n7`` in spec text);
+    a factory whose counter lags behind them would hand out "fresh"
+    nulls that alias existing values, and an EGD equating the old one
+    would silently corrupt the new one.
+    """
+    nulls.advance_past(max((null.label for null in working.nulls()),
+                           default=0))
+
+
 class _Budget:
     """Shared per-run budget bookkeeping (facts + wall clock).
 
@@ -111,6 +123,7 @@ def chase(instance: Instance, sigma: Iterable[Constraint],
     """
     sigma = list(sigma)
     working = instance.copy() if copy else instance
+    _guard_fresh_nulls(working, nulls)
     if strategy is None:
         strategy = RoundRobinStrategy()
     # start() keeps its historical two-argument shape, and the attach
@@ -188,6 +201,7 @@ def oblivious_chase(instance: Instance, sigma: Iterable[Constraint],
                                       wall_clock)
     sigma = list(sigma)
     working = instance.copy() if copy else instance
+    _guard_fresh_nulls(working, nulls)
     triggers = TriggerIndex(sigma, working, oblivious=True)
     try:
         budget = _Budget(max_facts, wall_clock)
@@ -236,6 +250,7 @@ def _oblivious_chase_naive(instance: Instance, sigma: Iterable[Constraint],
     """Reference oblivious chase: restart full enumeration per step."""
     sigma = list(sigma)
     working = instance.copy() if copy else instance
+    _guard_fresh_nulls(working, nulls)
     # Fired-trigger keys are (constraint, interned assignment) pairs --
     # like the trigger index, the cache never hashes a boxed term.
     table = working.term_table

@@ -23,6 +23,12 @@ Commands
     is a query-job JSON file (or a directory of them, see
     ``examples/queries/``), or pass a constraints file plus
     ``--instance``/``--query`` inline.
+``fuzz --seed S --cases N``
+    Adversarial metamorphic fuzzing (:mod:`repro.fuzz`): seeded random
+    constraint sets/instances/queries checked against the Figure 1
+    hierarchy, backend/engine/service parity and answer invariance;
+    failures are delta-debugged and written to ``examples/repros/`` as
+    job specs replayable with ``repro batch``.
 
 Constraint files use the library's text format (see
 :mod:`repro.lang.parser`), e.g.::
@@ -211,6 +217,39 @@ def cmd_query(args) -> int:
     return 0 if completed == len(results) else 1
 
 
+def cmd_fuzz(args) -> int:
+    """Run the adversarial metamorphic fuzzer (see :mod:`repro.fuzz`).
+
+    Fully deterministic per ``(--seed, --cases)``: the corpus, every
+    oracle verdict and every minimized repro spec replay identically
+    (timing effects -- wall clocks, oracle deadlines -- only ever move
+    outcomes into the *skip* column).  Violations are shrunk and
+    written to ``--repro-dir`` as job specs replayable with
+    ``repro batch``.
+    """
+    import json as _json
+    from repro.fuzz import run_corpus
+    on_case = None
+    if args.events:
+        def on_case(case):
+            print(case.describe(), file=sys.stderr)
+    report = run_corpus(
+        args.seed, args.cases,
+        max_steps=args.max_steps,
+        wall_clock=args.wall_clock if args.wall_clock > 0 else None,
+        oracle_deadline_s=args.deadline if args.deadline > 0 else None,
+        deep_hierarchy_every=args.deep_every,
+        pool_every=args.pool_every,
+        repro_dir=args.repro_dir,
+        shrink=not args.no_shrink,
+        on_case=on_case)
+    if args.json:
+        print(_json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_graph(args) -> int:
     sigma = _load_constraints(args.constraints)
     if args.kind == "dep":
@@ -264,6 +303,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fact-store backend (default: $REPRO_BACKEND "
                         "or 'set')")
     p.set_defaults(func=cmd_chase)
+
+    p = sub.add_parser("fuzz",
+                       help="adversarial metamorphic fuzzing of the "
+                            "whole stack (deterministic per seed)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="corpus seed (same seed => same corpus, same "
+                        "verdicts)")
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of generated cases (default 200)")
+    p.add_argument("--repro-dir", default="examples/repros",
+                   help="where minimized failing cases are written as "
+                        "replayable job specs (default examples/repros)")
+    p.add_argument("--max-steps", type=int, default=250,
+                   help="step budget per chase inside the oracles")
+    p.add_argument("--wall-clock", type=float, default=0.5,
+                   help="wall-clock budget in seconds per chase "
+                        "(0 = unbounded)")
+    p.add_argument("--deadline", type=float, default=0.8,
+                   help="hard per-oracle-call deadline in seconds; a "
+                        "hit skips the case (0 = unbounded)")
+    p.add_argument("--deep-every", type=int, default=4, metavar="N",
+                   help="probe the expensive hierarchy classes "
+                        "(safely/inductively restricted, T[k]) every "
+                        "Nth case (0 = never)")
+    p.add_argument("--pool-every", type=int, default=25, metavar="N",
+                   help="cross-check a real 2-worker pool every Nth "
+                        "case (0 = never)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="write failing cases unminimized")
+    p.add_argument("--events", action="store_true",
+                   help="print each generated case to stderr")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one JSON object")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("graph", help="emit a graph as DOT")
     p.add_argument("constraints")

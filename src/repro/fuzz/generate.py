@@ -1,0 +1,301 @@
+"""Seeded generation of adversarial fuzz cases.
+
+A :class:`FuzzCase` is one complete metamorphic test input: a random
+schema, a random TGD/EGD constraint set, a random source instance and
+a random conjunctive query.  Generation is a pure function of
+``(seed, index, config)`` -- :class:`random.Random` is seeded with a
+version-tagged string, so the same corpus regenerates byte-identically
+across processes, machines and interpreter hash seeds.
+
+The generator is deliberately biased toward the **termination-class
+boundaries** of the paper's Figure 1: besides uniform "atom soup"
+TGDs, it injects *motifs* -- copy chains (weak acyclicity), null
+cascades (safety's rank argument), feedback loops that pipe an
+existential position back into its own body (the Introduction's
+divergent ``S(x) -> E(x, y), S(y)`` shape) and EGDs over shared
+prefixes -- because uniformly random sets are overwhelmingly either
+trivially terminating or trivially divergent, and the interesting
+oracle failures live on the class boundaries in between.
+
+This module depends only on :mod:`repro.lang` and :mod:`repro.cq`
+(never on the engine layers it fuzzes), so every execution surface can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.cq.query import ConjunctiveQuery
+from repro.lang.atoms import Atom
+from repro.lang.constraints import Constraint, EGD, TGD
+from repro.lang.instance import Instance
+from repro.lang.parser import (render_constraints, render_instance,
+                               render_query)
+from repro.lang.schema import Schema
+from repro.lang.terms import Constant, Null, Variable
+
+#: Bumped whenever generation changes shape: the version participates
+#: in the RNG seed string, so a corpus is only reproducible against
+#: the generator that produced it.
+GENERATOR_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Tunable knobs of the case generator (all ranges inclusive).
+
+    ``feedback_probability`` is the cyclicity bias: the chance that a
+    TGD's head reuses a body relation, creating the dependency-graph
+    cycles that separate the Figure 1 classes.  ``shared_null_
+    probability`` makes one existential variable occur in several head
+    atoms (null-sharing, the shape behind the guarded-null property).
+    """
+
+    n_relations: Tuple[int, int] = (2, 3)
+    max_arity: int = 3
+    n_constraints: Tuple[int, int] = (1, 4)
+    max_body_atoms: int = 2
+    max_head_atoms: int = 2
+    n_variables: int = 4
+    existential_probability: float = 0.5
+    shared_null_probability: float = 0.4
+    feedback_probability: float = 0.6
+    egd_probability: float = 0.2
+    motif_probability: float = 0.5
+    n_facts: Tuple[int, int] = (2, 6)
+    domain_size: int = 4
+    instance_null_probability: float = 0.1
+    query_max_atoms: int = 2
+
+    def validate(self) -> "FuzzConfig":
+        if self.n_relations[0] < 1 or self.n_constraints[0] < 1:
+            raise ValueError("need at least one relation and constraint")
+        if self.max_arity < 1 or self.n_facts[0] < 1:
+            raise ValueError("max_arity and n_facts must be positive")
+        return self
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (schema, constraints, instance, query) input."""
+
+    seed: int
+    index: int
+    schema: Schema
+    sigma: Tuple[Constraint, ...]
+    instance: Instance
+    query: ConjunctiveQuery
+    config: FuzzConfig = field(default_factory=FuzzConfig)
+
+    def label(self) -> str:
+        return f"fuzz_s{self.seed}_c{self.index}"
+
+    # -- renderings -----------------------------------------------------
+    def constraints_text(self) -> str:
+        return render_constraints(self.sigma)
+
+    def instance_text(self) -> str:
+        return render_instance(self.instance)
+
+    def query_text(self) -> str:
+        return render_query(self.query)
+
+    def describe(self) -> str:
+        return (f"{self.label()}: {len(self.sigma)} constraints, "
+                f"{len(self.instance)} facts, query "
+                f"{self.query_text()}")
+
+    # -- batch-service spec forms ---------------------------------------
+    def to_chase_spec(self, max_steps: int = 400, **overrides) -> dict:
+        """A ``repro batch`` chase job spec replaying this case.
+
+        The strategy is pinned to ``round_robin`` (never ``auto``) so
+        a replay executes exactly the order the fuzzer ran, without
+        re-consulting the termination report.
+        """
+        spec = {
+            "kind": "chase",
+            "name": self.label(),
+            "constraints": self.constraints_text(),
+            "instance": self.instance_text(),
+            "strategy": "round_robin",
+            "max_steps": max_steps,
+        }
+        spec.update(overrides)
+        return spec
+
+    def to_query_spec(self, max_steps: int = 400, **overrides) -> dict:
+        """A ``repro query``/``repro batch`` query job spec."""
+        spec = self.to_chase_spec(max_steps=max_steps)
+        spec["kind"] = "query"
+        spec["query"] = self.query_text()
+        spec.update(overrides)
+        return spec
+
+    def with_parts(self, sigma=None, facts=None, query=None) -> "FuzzCase":
+        """A copy with constraints/facts/query replaced (the shrinker's
+        reduction step; the schema is left as generated)."""
+        changes = {}
+        if sigma is not None:
+            changes["sigma"] = tuple(sigma)
+        if facts is not None:
+            changes["instance"] = Instance(facts)
+        if query is not None:
+            changes["query"] = query
+        return replace(self, **changes)
+
+
+def case_rng(seed: int, index: int) -> random.Random:
+    """The case's private RNG.  String seeding hashes through SHA-512
+    inside :class:`random.Random`, which is stable across processes
+    and interpreter hash seeds -- the root of corpus determinism."""
+    return random.Random(f"repro-fuzz:v{GENERATOR_VERSION}:{seed}:{index}")
+
+
+def _random_atom(rng: random.Random, schema: Schema, pool,
+                 relations: Optional[List[str]] = None) -> Atom:
+    relation = rng.choice(relations if relations else list(schema))
+    return Atom(relation, tuple(rng.choice(pool)
+                                for _ in range(schema.arity(relation))))
+
+
+def _random_tgd(rng: random.Random, schema: Schema,
+                config: FuzzConfig, label: str) -> TGD:
+    variables = [Variable(f"x{i}") for i in range(config.n_variables)]
+    body = [_random_atom(rng, schema, variables)
+            for _ in range(rng.randint(1, config.max_body_atoms))]
+    body_vars = sorted({v for atom in body for v in atom.variables()},
+                       key=lambda v: v.name)
+    head_pool: List[Variable] = list(body_vars)
+    if rng.random() < config.existential_probability:
+        if rng.random() < config.shared_null_probability:
+            head_pool.extend([Variable("y0"), Variable("y0")])
+        else:
+            head_pool.extend([Variable(f"y{i}")
+                              for i in range(rng.randint(1, 2))])
+    # Cyclicity bias: reusing body relations in the head is what feeds
+    # created values (and their positions) back into triggers.
+    feedback = rng.random() < config.feedback_probability
+    head_relations = (sorted({a.relation for a in body})
+                      if feedback else None)
+    head = [_random_atom(rng, schema, head_pool, relations=head_relations)
+            for _ in range(rng.randint(1, config.max_head_atoms))]
+    return TGD(body, head, label=label)
+
+
+def _random_egd(rng: random.Random, schema: Schema, label: str
+                ) -> Optional[EGD]:
+    candidates = [r for r in schema if schema.arity(r) >= 2]
+    if not candidates:
+        return None
+    relation = rng.choice(candidates)
+    arity = schema.arity(relation)
+    left = [Variable(f"x{i}") for i in range(arity)]
+    right = [left[0]] + [Variable(f"z{i}") for i in range(1, arity)]
+    position = rng.randrange(1, arity)
+    return EGD([Atom(relation, tuple(left)), Atom(relation, tuple(right))],
+               left[position], right[position], label=label)
+
+
+def _motif(rng: random.Random, schema: Schema, label: str
+           ) -> Optional[Constraint]:
+    """A hand-shaped boundary constraint over random relations."""
+    relations = list(schema)
+    kind = rng.choice(("copy", "cascade", "feedback", "merge"))
+    source = rng.choice(relations)
+    target = rng.choice(relations)
+    x, y = Variable("x"), Variable("y")
+    if kind == "copy":
+        # R(x..) -> S(x..): the weakly-acyclic side.
+        width = min(schema.arity(source), schema.arity(target))
+        xs = [Variable(f"x{i}") for i in range(schema.arity(source))]
+        head_args = (xs * schema.arity(target))[:schema.arity(target)]
+        return TGD([Atom(source, tuple(xs))],
+                   [Atom(target, tuple(head_args))], label=label) \
+            if width else None
+    if kind == "cascade":
+        # L(x,..) -> exists y M(y,..): safe null creation per level.
+        xs = [x] * schema.arity(source)
+        ys = [y] * schema.arity(target)
+        return TGD([Atom(source, tuple(xs))], [Atom(target, tuple(ys))],
+                   label=label)
+    if kind == "feedback":
+        # The Introduction's alpha_2 shape: S(x) -> E(x,y), S(y) --
+        # an existential value re-entering its own trigger relation.
+        unary = source
+        xs = [x] * schema.arity(unary)
+        pair = rng.choice(relations)
+        edge_args = ([x, y] * schema.arity(pair))[:schema.arity(pair)]
+        back_args = [y] * schema.arity(unary)
+        return TGD([Atom(unary, tuple(xs))],
+                   [Atom(pair, tuple(edge_args)),
+                    Atom(unary, tuple(back_args))], label=label)
+    return _random_egd(rng, schema, label)
+
+
+def random_sigma(rng: random.Random, schema: Schema,
+                 config: FuzzConfig) -> Tuple[Constraint, ...]:
+    out: List[Constraint] = []
+    size = rng.randint(*config.n_constraints)
+    for index in range(size):
+        label = f"f{index}"
+        constraint: Optional[Constraint] = None
+        if rng.random() < config.motif_probability:
+            constraint = _motif(rng, schema, label)
+        elif rng.random() < config.egd_probability:
+            constraint = _random_egd(rng, schema, label)
+        if constraint is None:
+            constraint = _random_tgd(rng, schema, config, label)
+        out.append(constraint)
+    return tuple(out)
+
+
+def random_case_instance(rng: random.Random, schema: Schema,
+                         config: FuzzConfig) -> Instance:
+    domain: List = [Constant(f"c{i}") for i in range(config.domain_size)]
+    nulls = [Null(i + 1) for i in range(2)]
+    facts: List[Atom] = []
+    for _ in range(rng.randint(*config.n_facts)):
+        relation = rng.choice(list(schema))
+        args = []
+        for _ in range(schema.arity(relation)):
+            if rng.random() < config.instance_null_probability:
+                args.append(rng.choice(nulls))
+            else:
+                args.append(rng.choice(domain))
+        facts.append(Atom(relation, tuple(args)))
+    return Instance(facts)
+
+
+def random_case_query(rng: random.Random, schema: Schema,
+                      config: FuzzConfig) -> ConjunctiveQuery:
+    variables = [Variable(f"q{i}") for i in range(3)]
+    body = [_random_atom(rng, schema, variables)
+            for _ in range(rng.randint(1, config.query_max_atoms))]
+    body_vars = sorted({v for atom in body for v in atom.variables()},
+                       key=lambda v: v.name)
+    head = tuple(rng.sample(body_vars, rng.randint(1, min(2, len(body_vars)))))
+    return ConjunctiveQuery(name="q", head=head, body=tuple(body))
+
+
+def generate_case(seed: int, index: int,
+                  config: Optional[FuzzConfig] = None) -> FuzzCase:
+    """The ``index``-th case of the ``seed`` corpus (pure function)."""
+    config = (config or FuzzConfig()).validate()
+    rng = case_rng(seed, index)
+    schema = Schema({f"R{i}": rng.randint(1, config.max_arity)
+                     for i in range(rng.randint(*config.n_relations))})
+    sigma = random_sigma(rng, schema, config)
+    instance = random_case_instance(rng, schema, config)
+    query = random_case_query(rng, schema, config)
+    return FuzzCase(seed=seed, index=index, schema=schema, sigma=sigma,
+                    instance=instance, query=query, config=config)
+
+
+def generate_corpus(seed: int, n_cases: int,
+                    config: Optional[FuzzConfig] = None) -> List[FuzzCase]:
+    """The full seeded corpus, in index order."""
+    return [generate_case(seed, index, config) for index in range(n_cases)]

@@ -1,0 +1,145 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+Given a :class:`~repro.fuzz.generate.FuzzCase` and a predicate that
+re-checks the failure, :func:`shrink_case` greedily removes
+constraints, then facts, then query body atoms, keeping each removal
+that still fails -- a ddmin-style one-minimal reduction (every
+remaining part is necessary under single-element removal).  The
+predicate is called on *candidate* cases that may be degenerate (empty
+body after dropping an atom, a query head variable with no binding);
+candidates the model layer rejects are simply not reductions, so
+:class:`~repro.lang.errors.ReproError`/``ValueError`` from a probe
+count as "does not fail".
+
+Shrinking is budgeted (``max_evaluations``): each predicate call costs
+one or more chases, and an adversarial case can make any single check
+slow, so the shrinker does the best reduction it can afford and
+returns -- the original case is always a valid fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.generate import FuzzCase
+from repro.lang.errors import ReproError
+
+Predicate = Callable[[FuzzCase], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized case plus reduction accounting."""
+
+    case: FuzzCase
+    evaluations: int
+    removed_constraints: int
+    removed_facts: int
+    removed_query_atoms: int
+
+    def describe(self) -> str:
+        return (f"shrunk to {len(self.case.sigma)} constraints / "
+                f"{len(self.case.instance)} facts / "
+                f"{len(self.case.query.body)} query atoms "
+                f"(-{self.removed_constraints}/-{self.removed_facts}/"
+                f"-{self.removed_query_atoms} in {self.evaluations} "
+                f"evaluations)")
+
+
+class _Budget:
+    __slots__ = ("left", "spent")
+
+    def __init__(self, max_evaluations: int) -> None:
+        self.left = max_evaluations
+        self.spent = 0
+
+    def charge(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        self.spent += 1
+        return True
+
+
+def _check(candidate: Optional[FuzzCase], still_fails: Predicate,
+           budget: _Budget) -> bool:
+    if candidate is None or not budget.charge():
+        return False
+    try:
+        return bool(still_fails(candidate))
+    except (ReproError, ValueError):
+        return False
+
+
+def _minimize(items: Sequence, rebuild, still_fails: Predicate,
+              budget: _Budget, keep_one: bool = False) -> List:
+    """Greedy one-at-a-time removal to a fixpoint (ddmin's final
+    granularity, which is where small fuzz cases spend all their
+    time anyway)."""
+    items = list(items)
+    floor = 1 if keep_one else 0
+    changed = True
+    while changed and len(items) > floor and budget.left > 0:
+        changed = False
+        for index in range(len(items) - 1, -1, -1):
+            if len(items) <= floor:
+                break
+            trial = items[:index] + items[index + 1:]
+            try:
+                candidate = rebuild(trial)
+            except (ReproError, ValueError):
+                continue
+            if _check(candidate, still_fails, budget):
+                items = trial
+                changed = True
+    return items
+
+
+def shrink_case(case: FuzzCase, still_fails: Predicate,
+                max_evaluations: int = 200) -> ShrinkResult:
+    """Minimize ``case`` while ``still_fails`` keeps holding.
+
+    ``still_fails`` must already hold on ``case`` itself (the caller
+    observed the failure); it is *not* re-checked here, so a flaky
+    predicate degrades to "no reduction found", never to a wrong
+    result.  Reduction order -- constraints, then facts, then query
+    atoms -- removes the most failure-relevant structure first: most
+    oracle violations are properties of the constraint set, and a
+    smaller set makes every later fact/query check cheaper.
+    """
+    original = case
+    budget = _Budget(max_evaluations)
+    sigma = _minimize(
+        case.sigma, lambda s: case.with_parts(sigma=s),
+        still_fails, budget)
+    case = case.with_parts(sigma=sigma)
+
+    facts = _minimize(
+        list(case.instance), lambda f: case.with_parts(facts=f),
+        still_fails, budget)
+    case = case.with_parts(facts=facts)
+
+    def rebuild_query(atoms):
+        body = tuple(atoms)
+        bound = {v for atom in body for v in atom.variables()}
+        if not all(v in bound for v in case.query.head):
+            return None
+        query = type(case.query)(name=case.query.name,
+                                 head=case.query.head, body=body)
+        return case.with_parts(query=query)
+
+    atoms = _minimize(case.query.body, rebuild_query, still_fails,
+                      budget, keep_one=True)
+    shrunk = rebuild_query(atoms)
+    if shrunk is not None:
+        case = shrunk
+
+    return ShrinkResult(
+        case=case,
+        evaluations=budget.spent,
+        removed_constraints=len(original.sigma) - len(case.sigma),
+        removed_facts=len(original.instance) - len(case.instance),
+        removed_query_atoms=(len(original.query.body)
+                             - len(case.query.body)),
+    )

@@ -37,7 +37,7 @@ from repro.homomorphism.extend import head_extends
 from repro.lang.constraints import Constraint, EGD, TGD
 from repro.lang.errors import ChaseFailure, SchemaError
 from repro.lang.instance import Instance
-from repro.lang.terms import GroundTerm, Null
+from repro.lang.terms import GroundTerm, Null, NULLS
 
 
 @dataclass
@@ -77,6 +77,8 @@ def depth_bounded_chase(instance: Instance, sigma: Iterable[Constraint],
     """
     sigma = list(sigma)
     working = instance.copy()
+    NULLS.advance_past(max((null.label for null in working.nulls()),
+                           default=0))
     depths: Dict[Null, int] = {null: 0 for null in working.nulls()}
     truncated = False
     steps = 0

@@ -248,6 +248,38 @@ def parse_query(text: str):
     return query
 
 
+def render_instance(instance) -> str:
+    """Render an instance in the parser's text format, one fact per
+    line, sorted -- the canonical inverse of :func:`parse_instance`.
+
+    Constants render bare (identifiers/numbers) or quoted, labeled
+    nulls as ``?nN``; the output re-parses to an equal instance, which
+    is what job specs, fuzz repro files and the batch workload
+    generators rely on."""
+    return "\n".join(sorted(f"{_render_instance_atom(fact)}."
+                            for fact in instance))
+
+
+def _render_instance_atom(atom: Atom) -> str:
+    args = ", ".join(_render_instance_term(t) for t in atom.args)
+    return f"{atom.relation}({args})"
+
+
+def _render_instance_term(term: Term) -> str:
+    """Instance-mode term rendering: bare identifiers are constants."""
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, (int, float)):
+            return str(value)
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", str(value)):
+            return str(value)
+        escaped = str(value).replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(term, Null) and term.label >= 0:
+        return f"?n{term.label}"
+    raise ParseError(f"cannot render term {term!r} in instance position")
+
+
 def render_constraints(sigma: Iterable[Constraint]) -> str:
     """Render constraints in re-parseable form, one per line."""
     lines = []

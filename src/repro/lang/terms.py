@@ -10,7 +10,6 @@ dispatch on the term kind cheaply.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from typing import Union
 
@@ -135,17 +134,32 @@ class NullFactory:
 
     def __init__(self, start: int = 1) -> None:
         self._lock = threading.Lock()
-        self._counter = itertools.count(start)
+        self._next = start
 
     def fresh(self) -> Null:
         """Return a null with a label never handed out before."""
         with self._lock:
-            return Null(next(self._counter))
+            label = self._next
+            self._next += 1
+        return Null(label)
 
     def reset(self, start: int = 1) -> None:
         """Restart labeling (intended for tests and examples)."""
         with self._lock:
-            self._counter = itertools.count(start)
+            self._next = start
+
+    def advance_past(self, label: int) -> None:
+        """Guarantee every future label exceeds ``label``.
+
+        The chase calls this with the highest null label of its input
+        instance: a "fresh" null whose label collides with a null
+        already present would silently alias two distinct values (and
+        an EGD equating the old one would corrupt the new one).
+        Monotone, so advancing a shared factory is always safe.
+        """
+        with self._lock:
+            if self._next <= label:
+                self._next = label + 1
 
 
 #: Default factory used by the chase engine when none is supplied.

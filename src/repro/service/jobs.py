@@ -43,6 +43,7 @@ from repro.datadep.monitored_chase import monitored_chase
 from repro.lang.constraints import Constraint
 from repro.lang.errors import ReproError
 from repro.lang.instance import Instance
+from repro.lang.schema import Schema
 from repro.lang.parser import (_render_constraint_body, parse_atoms,
                                parse_constraints, render_constraints)
 from repro.lang.terms import NullFactory
@@ -138,12 +139,52 @@ def decode_spec_instance(raw_instance, backend: Optional[str]) -> Instance:
                     backend=backend)
 
 
+def check_spec_schema(sigma, instance: Instance, *extra_atoms) -> None:
+    """Reject specs whose relations are used at inconsistent arities.
+
+    Constraints, instance facts and (for query jobs) query atoms must
+    agree on every relation's arity; a spec writing ``R(a)`` next to
+    ``R(a, b)`` raises :class:`~repro.lang.errors.SchemaError` here --
+    a structured, catchable error -- instead of producing undefined
+    matching behaviour deep inside the chase.
+    """
+    schema = instance.schema()
+    for constraint in sigma:
+        schema = schema.merged(constraint.schema())
+    for atom in extra_atoms:
+        schema = schema.merged(Schema.infer([atom]))
+
+
 def spec_value(payload: dict, key: str, default, convert):
     """A knob from a job spec dict: explicit JSON ``null`` (or an
     absent key) means "use the default", anything else is converted.
     Shared by every job kind's ``from_dict``."""
     value = payload.get(key)
     return default if value is None else convert(value)
+
+
+def spec_budget(key: str, convert=int, minimum=0):
+    """A validating numeric converter for :func:`spec_value`.
+
+    Budgets from the wire must be numbers and non-negative (``max_k``
+    at least 1): a negative or non-numeric budget in a hand-written or
+    adversarial spec must surface as a structured :class:`WireError`
+    -- which the serve loop and the CLI turn into an error payload --
+    never as a traceback from deep inside the runner.
+    """
+    def converter(value):
+        if isinstance(value, bool):
+            raise WireError(f"{key} must be a number, got {value!r}")
+        try:
+            converted = convert(value)
+        except (TypeError, ValueError):
+            raise WireError(f"{key} must be a number, got {value!r}") \
+                from None
+        if converted < minimum:
+            raise WireError(f"{key} must be >= {minimum}, "
+                            f"got {converted!r}")
+        return converted
+    return converter
 
 
 def spec_bool(key: str):
@@ -269,18 +310,22 @@ class ChaseJob:
         sigma = tuple(parse_constraints(constraints))
         backend = payload.get("backend")
         instance = decode_spec_instance(raw_instance, backend)
+        check_spec_schema(sigma, instance)
         return cls(
             name=payload.get("name") or name or "job",
             sigma=sigma,
             instance=instance,
             strategy=spec_value(payload, "strategy", "auto", str),
             backend=backend,
-            max_steps=spec_value(payload, "max_steps",
-                                 DEFAULT_MAX_STEPS, int),
-            max_facts=spec_value(payload, "max_facts", None, int),
-            wall_clock=spec_value(payload, "wall_clock", None, float),
-            cycle_limit=spec_value(payload, "cycle_limit", 0, int),
-            max_k=spec_value(payload, "max_k", 3, int),
+            max_steps=spec_value(payload, "max_steps", DEFAULT_MAX_STEPS,
+                                 spec_budget("max_steps")),
+            max_facts=spec_value(payload, "max_facts", None,
+                                 spec_budget("max_facts")),
+            wall_clock=spec_value(payload, "wall_clock", None,
+                                  spec_budget("wall_clock", convert=float)),
+            cycle_limit=spec_value(payload, "cycle_limit", 0,
+                                   spec_budget("cycle_limit")),
+            max_k=spec_value(payload, "max_k", 3, spec_budget("max_k")),
         )
 
     @classmethod

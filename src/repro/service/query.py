@@ -56,10 +56,12 @@ from repro.lang.errors import ReproError
 from repro.lang.instance import Instance
 from repro.lang.parser import (_render_constraint_body, parse_constraints,
                                parse_query, render_constraints, render_query)
-from repro.service.jobs import (decode_spec_instance, EventCallback,
+from repro.service.jobs import (check_spec_schema,
+                                decode_spec_instance, EventCallback,
                                 instance_fingerprint, JobResult,
                                 load_spec_file, run_declared_chase,
-                                spec_bool, spec_value, STATUS_ERROR)
+                                spec_bool, spec_budget, spec_value,
+                                STATUS_ERROR)
 from repro.service.serialize import encode_instance, encode_term, WireError
 
 __all__ = ["QueryJob", "execute_query_job"]
@@ -168,22 +170,30 @@ class QueryJob:
         if not isinstance(query_text, str):
             raise WireError(f"query must be query text, got {query_text!r}")
         backend = payload.get("backend")
+        sigma = tuple(parse_constraints(constraints))
+        instance = decode_spec_instance(raw_instance, backend)
+        query = parse_query(query_text)
+        check_spec_schema(sigma, instance, *query.body)
         return cls(
             name=payload.get("name") or name or "query",
-            sigma=tuple(parse_constraints(constraints)),
-            instance=decode_spec_instance(raw_instance, backend),
-            query=parse_query(query_text),
+            sigma=sigma,
+            instance=instance,
+            query=query,
             strategy=spec_value(payload, "strategy", "auto", str),
             backend=backend,
-            max_steps=spec_value(payload, "max_steps",
-                                 DEFAULT_MAX_STEPS, int),
-            max_facts=spec_value(payload, "max_facts", None, int),
-            wall_clock=spec_value(payload, "wall_clock", None, float),
-            cycle_limit=spec_value(payload, "cycle_limit", 0, int),
-            max_k=spec_value(payload, "max_k", 3, int),
+            max_steps=spec_value(payload, "max_steps", DEFAULT_MAX_STEPS,
+                                 spec_budget("max_steps")),
+            max_facts=spec_value(payload, "max_facts", None,
+                                 spec_budget("max_facts")),
+            wall_clock=spec_value(payload, "wall_clock", None,
+                                  spec_budget("wall_clock", convert=float)),
+            cycle_limit=spec_value(payload, "cycle_limit", 0,
+                                   spec_budget("cycle_limit")),
+            max_k=spec_value(payload, "max_k", 3, spec_budget("max_k")),
             optimize=spec_value(payload, "optimize", True,
                                 spec_bool("optimize")),
-            depth_limit=spec_value(payload, "depth_limit", None, int),
+            depth_limit=spec_value(payload, "depth_limit", None,
+                                   spec_budget("depth_limit")),
         )
 
     @classmethod

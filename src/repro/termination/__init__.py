@@ -13,8 +13,10 @@ from repro.termination.hierarchy import check, in_t_level, sub, t_level
 from repro.termination.precedence import (ORACLE, PrecedenceOracle, precedes,
                                           precedes_c, precedes_k, precedes_p)
 from repro.termination.report import (analyze, analyze_cache_info,
+                                      check_hierarchy_implications,
                                       clear_analyze_cache, CONDITIONS,
                                       constraint_set_fingerprint,
+                                      HIERARCHY_IMPLICATIONS,
                                       TerminationReport)
 from repro.termination.restriction import (aff_cl, is_inductively_restricted,
                                            is_safely_restricted,
@@ -33,8 +35,9 @@ __all__ = [
     "dependency_graph", "has_special_cycle", "position_ranks", "check",
     "in_t_level", "sub", "t_level", "ORACLE", "PrecedenceOracle", "precedes",
     "precedes_c", "precedes_k", "precedes_p", "analyze",
-    "analyze_cache_info", "clear_analyze_cache", "CONDITIONS",
-    "constraint_set_fingerprint",
+    "analyze_cache_info", "check_hierarchy_implications",
+    "clear_analyze_cache", "CONDITIONS",
+    "constraint_set_fingerprint", "HIERARCHY_IMPLICATIONS",
     "TerminationReport", "aff_cl", "is_inductively_restricted",
     "is_safely_restricted", "minimal_restriction_system", "part",
     "RestrictionSystem", "is_safe", "propagation_graph", "safety_witness",

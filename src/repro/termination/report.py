@@ -163,6 +163,49 @@ def _analyze_cached(sigma: Tuple[Constraint, ...], max_k: int,
     )
 
 
+# ----------------------------------------------------------------------
+# Figure 1 as checkable data: the hierarchy's implications
+# ----------------------------------------------------------------------
+#: Every inclusion of Figure 1 (plus the T-hierarchy's internal
+#: monotonicity), as (antecedent, consequent) pairs over membership
+#: verdict names.  ``t2``/``t3`` are T-hierarchy levels; note
+#: ``inductively_restricted <=> t2`` (Definition 16: T[2] equals
+#: inductive restriction), hence the pair appears in both directions.
+#: The adversarial fuzzer (:mod:`repro.fuzz.oracles`) checks these on
+#: every generated constraint set.
+HIERARCHY_IMPLICATIONS: Tuple[Tuple[str, str], ...] = (
+    ("weakly_acyclic", "safe"),                     # Theorem 5 region
+    ("weakly_acyclic", "c_stratified"),             # Section 3.3
+    ("c_stratified", "stratified"),                 # Definitions 3/5
+    ("safe", "safely_restricted"),                  # Theorem 6 region
+    ("c_stratified", "safely_restricted"),          # Theorem 6 region
+    ("safely_restricted", "inductively_restricted"),  # Section 3.5
+    ("inductively_restricted", "t2"),               # Definition 16
+    ("t2", "inductively_restricted"),               # Definition 16
+    ("t2", "t3"),                                   # T[k] subseteq T[k+1]
+)
+
+
+def check_hierarchy_implications(verdicts: dict) -> List[str]:
+    """Violated Figure 1 implications among the given verdicts.
+
+    ``verdicts`` maps membership names (see
+    :data:`HIERARCHY_IMPLICATIONS`) to booleans; pairs whose names are
+    absent are skipped, so callers may probe any subset (the fuzzer
+    samples the expensive ``safely_restricted``/``t2``/``t3`` probes).
+    Returns human-readable descriptions of every violated implication
+    -- an empty list on a hierarchy-consistent classification.
+    """
+    violated: List[str] = []
+    for antecedent, consequent in HIERARCHY_IMPLICATIONS:
+        if antecedent not in verdicts or consequent not in verdicts:
+            continue
+        if verdicts[antecedent] and not verdicts[consequent]:
+            violated.append(f"{antecedent} holds but {consequent} "
+                            "does not (Figure 1 inclusion broken)")
+    return violated
+
+
 def clear_analyze_cache() -> None:
     """Drop every memoized :func:`analyze` result."""
     _analyze_cached.cache_clear()

@@ -16,9 +16,26 @@ A mixed batch interleaves four families:
 * ``divergent`` -- the Introduction's ``S(x) -> E(x,y), S(y)``
   (terminates for no strategy; only budgets bound it).
 
-Every spec is deterministic in (``seed``, index), so two generations
-of the same batch fingerprint identically -- warm-cache behaviour is
-reproducible across processes and bench runs.
+Determinism guarantees
+----------------------
+Every spec is a pure function of ``(seed, index)``:
+
+* per-spec randomness comes from a private ``random.Random`` seeded
+  with a version-tagged ``"{seed}:{index}"`` string -- string seeds
+  hash through SHA-512 inside :class:`random.Random`, so the stream is
+  identical across processes, platforms and ``PYTHONHASHSEED`` values,
+  and inserting or dropping a job never shifts its neighbours' specs;
+* instances and constraints render through the canonical sorted
+  renderers of :mod:`repro.lang.parser`, so equal content produces
+  byte-equal spec text and hence equal
+  :meth:`~repro.service.jobs.ChaseJob.fingerprint` values across
+  processes (the regression test generates batches in two separate
+  interpreters with different hash seeds and compares fingerprints);
+* *executing* a spec is deterministic too: every job runs with a
+  private :class:`~repro.lang.terms.NullFactory` (labels restart at
+  1), and the worker pool **forks** its workers, so null labels agree
+  between a 1-worker and an N-worker run of the same batch within one
+  process tree.
 """
 
 from __future__ import annotations
@@ -28,6 +45,7 @@ from typing import List, Optional
 
 from repro.lang.instance import Instance
 from repro.lang.parser import render_constraints
+from repro.lang.parser import render_instance as _render_parser_instance
 from repro.workloads.families import (chain_instance, example9_instance,
                                       full_tgd_chain,
                                       special_nodes_instance)
@@ -40,9 +58,20 @@ FAMILIES = ("chain", "safe", "t3", "divergent")
 def render_instance(instance: Instance) -> str:
     """The instance in the parser's text format (one fact per line).
 
-    Only valid for instances over identifier/number constants -- which
-    is all the workload families produce."""
-    return "\n".join(sorted(f"{fact}." for fact in instance))
+    Delegates to :func:`repro.lang.parser.render_instance` -- the
+    canonical sorted renderer whose output re-parses to an equal
+    instance (and which also handles quoted constants and labeled
+    nulls, beyond what the workload families produce)."""
+    return _render_parser_instance(instance)
+
+
+def spec_rng(seed: int, index: int) -> random.Random:
+    """The private RNG of spec ``index`` in the ``seed`` batch.
+
+    String-seeded for cross-process stability; per-index so each spec
+    is a pure function of ``(seed, index)`` regardless of how many
+    other specs the batch contains (see the module docs)."""
+    return random.Random(f"repro-workloads:v1:{seed}:{index}")
 
 
 def job_spec(family: str, size: int, name: Optional[str] = None,
@@ -84,16 +113,15 @@ def mixed_batch_specs(n_jobs: int, seed: int = 0,
                       min_size: int = 3, max_size: int = 8) -> List[dict]:
     """``n_jobs`` specs cycling through the families with seeded sizes.
 
-    Sizes repeat across the batch (drawn from a small seeded range),
-    so a generated batch contains genuine duplicates -- exercising the
-    scheduler's intra-batch dedup exactly like real traffic with
-    repeated requests would.
+    Sizes repeat across the batch (drawn per index from a small seeded
+    range, see :func:`spec_rng`), so a generated batch contains genuine
+    duplicates -- exercising the scheduler's intra-batch dedup exactly
+    like real traffic with repeated requests would.
     """
-    rng = random.Random(seed)
     specs = []
     for index in range(n_jobs):
         family = FAMILIES[index % len(FAMILIES)]
-        size = rng.randint(min_size, max_size)
+        size = spec_rng(seed, index).randint(min_size, max_size)
         specs.append(job_spec(family, size,
                               name=f"{family}_{size}_{index}"))
     return specs
@@ -148,13 +176,13 @@ def query_spec(family: str, size: int, name: Optional[str] = None,
 
 def query_batch_specs(n_jobs: int, seed: int = 0,
                       min_size: int = 3, max_size: int = 8) -> List[dict]:
-    """``n_jobs`` query specs cycling the families with seeded sizes
-    (duplicates included, like :func:`mixed_batch_specs`)."""
-    rng = random.Random(seed)
+    """``n_jobs`` query specs cycling the families with per-index
+    seeded sizes (duplicates included, like
+    :func:`mixed_batch_specs`)."""
     specs = []
     for index in range(n_jobs):
         family = QUERY_FAMILIES[index % len(QUERY_FAMILIES)]
-        size = rng.randint(min_size, max_size)
+        size = spec_rng(seed, index).randint(min_size, max_size)
         specs.append(query_spec(family, size,
                                 name=f"{family}_{size}_{index}"))
     return specs

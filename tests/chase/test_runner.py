@@ -52,6 +52,24 @@ class TestEGDs:
         assert result.status is ChaseStatus.FAILED
         assert result.failure_reason
 
+    def test_fresh_nulls_disjoint_from_input_nulls(self):
+        # Regression (found by `repro fuzz`, seed 0 case 97): a factory
+        # whose counter lags behind the input instance's null labels
+        # handed out a "fresh" ?n1 aliasing the existing ?n1, and the
+        # EGD equating the old null silently rewrote the new one too.
+        from repro.lang.terms import NullFactory
+        sigma = parse_constraints("""
+            P(x) -> R(x, y);
+            Q(x, z) -> x = z
+        """)
+        result = chase(parse_instance("P(?n1). Q(?n1, a)"), sigma,
+                       nulls=NullFactory())
+        assert result.terminated
+        # The TGD's fresh null must survive as a null distinct from
+        # the merged-away input null ?n1; pre-fix the EGD rewrote it
+        # to the constant `a` and the result carried no nulls at all.
+        assert len(result.instance.nulls()) == 1
+
     def test_egd_plus_tgd_interplay(self):
         sigma = parse_constraints("""
             S(x) -> E(x,y);

@@ -63,3 +63,11 @@ def graph_tgd_sets(draw, max_size=3, allow_existential=True):
 @pytest.fixture
 def rng():
     return random.Random(20090617)
+
+
+def pytest_collection_modifyitems(items):
+    """Everything not explicitly slow or fuzz is tier-1 by definition,
+    so `-m tier1` selects exactly the fast deterministic suite."""
+    for item in items:
+        if ("slow" not in item.keywords and "fuzz" not in item.keywords):
+            item.add_marker(pytest.mark.tier1)

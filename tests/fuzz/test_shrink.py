@@ -1,0 +1,80 @@
+"""The ddmin-lite shrinker: minimality, budgets, validity handling."""
+
+from repro.fuzz.generate import generate_case
+from repro.fuzz.shrink import shrink_case
+from repro.lang.errors import ReproError
+
+
+def tgd_labels(case):
+    return [c.label for c in case.sigma]
+
+
+def test_shrinks_to_the_single_guilty_constraint():
+    case = generate_case(0, 0)
+    guilty = case.sigma[0].label
+
+    def still_fails(candidate):
+        return any(c.label == guilty for c in candidate.sigma)
+
+    result = shrink_case(case, still_fails)
+    assert tgd_labels(result.case) == [guilty]
+    assert len(result.case.instance.facts()) == 0
+    assert result.removed_constraints == len(case.sigma) - 1
+    assert result.removed_facts == len(case.instance.facts())
+
+
+def test_failing_everything_shrinks_to_the_floor():
+    case = generate_case(0, 1)
+    result = shrink_case(case, lambda candidate: True)
+    assert len(result.case.sigma) == 0
+    assert len(result.case.instance.facts()) == 0
+    # The query keeps at least one body atom (keep_one floor).
+    assert len(result.case.query.body) >= 1
+
+
+def test_shrink_preserves_the_failure():
+    case = generate_case(4, 2)
+    target = len(case.instance.facts()) and sorted(
+        case.instance.facts(), key=str)[0]
+
+    def still_fails(candidate):
+        return target in candidate.instance.facts()
+
+    if not target:
+        return
+    result = shrink_case(case, still_fails)
+    assert still_fails(result.case)
+    assert list(result.case.instance.facts()) == [target]
+
+
+def test_evaluation_budget_is_respected():
+    case = generate_case(0, 3)
+    calls = []
+
+    def still_fails(candidate):
+        calls.append(1)
+        return True
+
+    result = shrink_case(case, still_fails, max_evaluations=5)
+    assert result.evaluations <= 5
+    assert len(calls) <= 5
+
+
+def test_predicate_errors_count_as_not_failing():
+    case = generate_case(0, 4)
+
+    def touchy(candidate):
+        if len(candidate.sigma) < len(case.sigma):
+            raise ReproError("cannot evaluate reduced case")
+        return True
+
+    result = shrink_case(case, touchy)
+    # Every removal attempt "failed to fail", so nothing was removed.
+    assert result.case.sigma == case.sigma
+
+
+def test_describe_summarizes_the_reduction():
+    case = generate_case(0, 0)
+    result = shrink_case(case, lambda candidate: True)
+    text = result.describe()
+    assert "constraint" in text and "fact" in text

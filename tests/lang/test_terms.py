@@ -75,3 +75,13 @@ class TestNullFactory:
     def test_start_offset(self):
         factory = NullFactory(start=50)
         assert factory.fresh() == Null(50)
+
+    def test_advance_past_skips_taken_labels(self):
+        factory = NullFactory()
+        factory.advance_past(7)
+        assert factory.fresh() == Null(8)
+
+    def test_advance_past_is_monotone(self):
+        factory = NullFactory(start=10)
+        factory.advance_past(3)  # already ahead: no-op
+        assert factory.fresh() == Null(10)

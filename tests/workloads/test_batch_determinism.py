@@ -1,0 +1,78 @@
+"""Cross-process determinism of the batch workload generators.
+
+The module docs of :mod:`repro.workloads.batch` promise that specs are
+pure functions of ``(seed, index)`` *across processes* -- the property
+the service's fingerprint cache and the bench's warm-cache numbers
+rest on.  These tests pin it for real: a separate interpreter with a
+different ``PYTHONHASHSEED`` must produce byte-equal specs and equal
+job fingerprints.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.service.jobs import ChaseJob, job_from_dict
+from repro.workloads.batch import (mixed_batch_specs, query_batch_specs,
+                                   spec_rng)
+
+_SUBPROCESS_PROGRAM = """
+import json, sys
+from repro.workloads.batch import mixed_batch_specs, query_batch_specs
+from repro.service.jobs import job_from_dict
+specs = mixed_batch_specs(8, seed=13) + query_batch_specs(6, seed=13)
+print(json.dumps({
+    "specs": specs,
+    "fingerprints": [job_from_dict(s, name=f"j{i}").fingerprint()
+                     for i, s in enumerate(specs)],
+}))
+"""
+
+
+def _generate_in_subprocess(hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.getcwd(), "src"),
+                    env.get("PYTHONPATH")) if p)
+    out = subprocess.run([sys.executable, "-c", _SUBPROCESS_PROGRAM],
+                        capture_output=True, text=True, env=env,
+                        check=True)
+    return json.loads(out.stdout)
+
+
+def test_fingerprints_pinned_across_processes_and_hash_seeds():
+    specs = mixed_batch_specs(8, seed=13) + query_batch_specs(6, seed=13)
+    local = [job_from_dict(s, name=f"j{i}").fingerprint()
+             for i, s in enumerate(specs)]
+    for hash_seed in ("0", "12345"):
+        remote = _generate_in_subprocess(hash_seed)
+        assert remote["specs"] == specs
+        assert remote["fingerprints"] == local
+
+
+def test_specs_are_pure_functions_of_seed_and_index():
+    # Same (seed, index) => same spec, no matter the batch length.
+    long = mixed_batch_specs(12, seed=4)
+    short = mixed_batch_specs(5, seed=4)
+    assert long[:5] == short
+    # Different seeds diverge somewhere (not a constant generator).
+    assert mixed_batch_specs(12, seed=5) != long
+
+
+def test_spec_rng_is_stable_and_private_per_index():
+    assert spec_rng(3, 0).random() == spec_rng(3, 0).random()
+    assert spec_rng(3, 0).random() != spec_rng(3, 1).random()
+    # Pin one concrete draw: a change to the seed derivation scheme
+    # must be noticed (it silently invalidates every cached
+    # fingerprint comparison in benches and docs).
+    assert spec_rng(11, 2).randint(3, 8) == 7
+
+
+def test_rendered_instance_text_reparses_to_equal_job():
+    for spec in mixed_batch_specs(4, seed=1):
+        job = ChaseJob.from_dict(spec)
+        rerendered = ChaseJob.from_dict({
+            **spec, "instance": spec["instance"]})
+        assert rerendered.fingerprint() == job.fingerprint()
