@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-service query-smoke fuzz-smoke bench bench-smoke bench-json docs-check
+.PHONY: test test-fast test-service query-smoke fuzz-smoke kernel-smoke bench bench-smoke bench-json check-bench docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,19 +31,41 @@ test-service:
 query-smoke:
 	$(PYTHON) -m repro query examples/queries --workers 2 --events
 
+# Kernel-layer smoke: posting-list protocol + column kernel units,
+# batch/tuple parity suite, and a timing-disabled pass over the
+# kernel microbenchmarks (parity asserts still run inside them).
+kernel-smoke:
+	$(PYTHON) -m pytest tests/homomorphism/test_kernels.py \
+	    tests/homomorphism/test_batch.py -q
+	REPRO_BENCH_SIZES=4,8 $(PYTHON) -m pytest \
+	    benchmarks/bench_join_kernels.py -q --benchmark-disable
+
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
 
 bench-smoke:
 	REPRO_BENCH_SIZES=4,8 $(PYTHON) -m pytest benchmarks/bench_chase_scaling.py -q --benchmark-disable
 
-# Timed run of the scaling bench, persisted as a JSON artifact so the
-# perf trajectory (incremental index, storage backends) is tracked
-# across PRs.  Honours REPRO_BENCH_SIZES.
+# Timed run of the scaling + kernel benches, persisted as a JSON
+# artifact so the perf trajectory (incremental index, storage
+# backends, batch kernels) is tracked across PRs.  Honours
+# REPRO_BENCH_SIZES.
 bench-json:
-	$(PYTHON) -m pytest benchmarks/bench_chase_scaling.py -q \
+	$(PYTHON) -m pytest benchmarks/bench_chase_scaling.py \
+	    benchmarks/bench_join_kernels.py -q \
 	    --benchmark-json=BENCH_chase_scaling.json
 	@echo "wrote BENCH_chase_scaling.json"
+
+# Regression gate against the committed baseline: re-times the bench
+# into a scratch JSON and compares per-benchmark mean ratios,
+# normalized by the run-wide median (machine speed cancels out).
+check-bench:
+	REPRO_BENCH_SIZES=4,8 $(PYTHON) -m pytest \
+	    benchmarks/bench_chase_scaling.py \
+	    benchmarks/bench_join_kernels.py -q \
+	    --benchmark-json=BENCH_fresh.json
+	$(PYTHON) tools/check_bench.py BENCH_chase_scaling.json BENCH_fresh.json
+	@rm -f BENCH_fresh.json
 
 # Fails on broken intra-repo markdown links and on references to
 # nonexistent files from docs or docstrings (the class of rot where a

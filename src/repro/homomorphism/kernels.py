@@ -1,0 +1,149 @@
+"""Column-at-a-time join kernels over interned term ids.
+
+The primitives behind :meth:`repro.homomorphism.plan.JoinPlan
+.execute_batch`: instead of binding one candidate row at a time with
+trail undo, each join step manipulates whole columns --
+
+* :func:`candidate_rows` narrows an atom's table to the rows matching
+  its ground / constant-bound positions by galloping posting-list
+  intersection (:class:`repro.storage.base.PostingList`), never
+  touching a row the index can rule out;
+* :func:`hash_build` / :func:`hash_join` join an atom's candidate
+  columns against the accumulated binding table build/probe style,
+  producing aligned ordinal vectors instead of nested loops;
+* :func:`cross_pairs` expands the no-shared-variable case (the
+  cross-product shape of ``bench_chase_scaling``'s worst family) as
+  two array multiplications;
+* :func:`take` gathers a column through an ordinal vector at C speed
+  (``operator.itemgetter``).
+
+Everything here speaks the backend-neutral posting-list protocol of
+:class:`repro.storage.base.FactStore`, so the kernels run unchanged --
+if not equally fast -- on every backend; batch-vs-tuple parity across
+backends is fuzzed by the ``kernel_parity`` oracle.
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.base import FactStore, PostingList
+from repro.storage.interning import TermId
+
+#: Pinned (delta) searches whose widest unpinned relation is smaller
+#: than this stay on the tuple path: the per-execution setup of the
+#: batch kernels only pays for itself once a step can amortize it over
+#: a reasonable column.
+PIN_BATCH_MIN_ROWS = 32
+
+
+def candidate_rows(store: FactStore, relation: str, arity: int,
+                   fixed: Sequence[Tuple[int, TermId]]
+                   ) -> Sequence[int]:
+    """Row keys of ``relation``/``arity`` matching every fixed
+    ``(position, term-id)`` pair, by posting-list intersection.
+
+    Positions the store cannot serve a posting list for (``None``)
+    are verified by a gather-and-filter residual pass instead.
+    """
+    postings: List[PostingList] = []
+    residual: List[Tuple[int, TermId]] = []
+    for position, tid in fixed:
+        plist = store.posting_list(relation, arity, position, tid)
+        if plist is None:
+            residual.append((position, tid))
+        elif len(plist) == 0:
+            return ()
+        else:
+            postings.append(plist)
+    if postings:
+        postings.sort(key=len)
+        acc = postings[0]
+        for nxt in postings[1:]:
+            if len(acc) == 0:
+                break
+            acc = acc.intersect(nxt)
+        rows: Sequence[int] = acc.materialize()
+    else:
+        rows = store.row_universe(relation, arity).materialize()
+    if residual and rows:
+        columns = store.batch_columns(
+            relation, arity, rows, [position for position, _ in residual])
+        keep = [ordinal for ordinal in range(len(rows))
+                if all(column[ordinal] == tid
+                       for column, (_, tid) in zip(columns, residual))]
+        rows = take(rows, keep)
+    return rows
+
+
+def take(column: Sequence, ordinals: Sequence[int]) -> Sequence:
+    """Gather ``column`` through an ordinal vector (C-speed when the
+    vector is long enough for itemgetter to win)."""
+    if not ordinals:
+        return ()
+    if len(ordinals) == 1:
+        return (column[ordinals[0]],)
+    return itemgetter(*ordinals)(column)
+
+
+def hash_build(key_columns: Sequence[Sequence[TermId]], count: int
+               ) -> Dict:
+    """Build side of the hash join: key tuple (or bare id, for
+    single-column keys) -> list of candidate-row ordinals."""
+    table: Dict = {}
+    if len(key_columns) == 1:
+        column = key_columns[0]
+        for ordinal in range(count):
+            key = column[ordinal]
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [ordinal]
+            else:
+                bucket.append(ordinal)
+    else:
+        for ordinal, key in enumerate(zip(*key_columns)):
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [ordinal]
+            else:
+                bucket.append(ordinal)
+    return table
+
+
+def hash_join(probe_columns: Sequence[Sequence[TermId]], nrows: int,
+              build: Dict) -> Tuple[Sequence[int], Sequence[int]]:
+    """Probe side: aligned ``(left, right)`` ordinal vectors, one entry
+    per join match, in table-major (probe-row) order -- the batch
+    analogue of the tuple path's DFS enumeration order."""
+    left = array("q")
+    right = array("q")
+    if len(probe_columns) == 1:
+        column = probe_columns[0]
+        get = build.get
+        for ordinal in range(nrows):
+            matches = get(column[ordinal])
+            if matches:
+                for match in matches:
+                    left.append(ordinal)
+                    right.append(match)
+    else:
+        get = build.get
+        for ordinal, key in enumerate(zip(*probe_columns)):
+            matches = get(key)
+            if matches:
+                for match in matches:
+                    left.append(ordinal)
+                    right.append(match)
+    return left, right
+
+
+def cross_pairs(nleft: int, nright: int
+                ) -> Tuple[Sequence[int], Sequence[int]]:
+    """Ordinal vectors of the full cross product, table-major."""
+    right = array("q", range(nright)) * nleft
+    left = array("q")
+    for ordinal in range(nleft):
+        left.extend(array("q", (ordinal,)) * nright)
+    return left, right

@@ -1,0 +1,239 @@
+"""Batch (column-at-a-time) execution parity with the tuple path.
+
+``JoinPlan.execute_batch`` must yield exactly the tuple path's
+homomorphism *multiset* -- same assignments, same multiplicities --
+on both backends, with and without pinned delta atoms, under
+projection push-down, over null-heavy instances, and on every edge
+shape the kernels special-case (empty posting lists, single-atom
+bodies, fully-ground bodies, arity-1 relations, repeated variables).
+The tuple path is the oracle throughout, mirroring the
+reference-engine discipline one layer down.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+
+from repro.homomorphism.engine import (batch_disabled, batch_mode_active,
+                                       find_homomorphisms,
+                                       find_homomorphisms_through)
+from repro.homomorphism.plan import JoinPlan, compile_plan
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+from repro.lang.parser import parse_instance
+from repro.lang.terms import Constant, Null, Variable
+
+from tests.conftest import graph_instances
+
+BACKENDS = ["set", "column"]
+
+x, y, z, u, v = (Variable("x"), Variable("y"), Variable("z"),
+                 Variable("u"), Variable("v"))
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+PATTERNS = [
+    [Atom("E", (x, y))],                            # single atom
+    [Atom("E", (x, x))],                            # repeated var, 1 atom
+    [Atom("E", (x, y)), Atom("E", (y, z))],         # chain join
+    [Atom("E", (x, y)), Atom("E", (y, x))],         # cycle join
+    [Atom("E", (x, y)), Atom("S", (x,))],           # arity-1 join
+    [Atom("E", (x, y)), Atom("S", (u,))],           # cross product
+    [Atom("E", (a, y)), Atom("E", (y, z))],         # ground position
+    [Atom("E", (a, b)), Atom("E", (x, y))],         # fully-ground atom
+    [Atom("E", (a, b)), Atom("S", (c,))],           # fully-ground body
+    [Atom("S", (x,)), Atom("S", (y,)), Atom("E", (x, y))],
+    [Atom("E", (x, x)), Atom("E", (x, y)), Atom("S", (y,))],
+]
+
+
+def _multiset(assignments):
+    return Counter(frozenset(h.items()) for h in assignments)
+
+
+def _random_instance(seed, nulls=False):
+    rng = random.Random(seed)
+    pool = [Constant(f"c{i}") for i in range(rng.randint(2, 8))]
+    if nulls:
+        pool += [Null(900 + i) for i in range(rng.randint(1, 4))]
+    facts = []
+    for _ in range(rng.randint(3, 40)):
+        if rng.random() < 0.3:
+            facts.append(Atom("S", (rng.choice(pool),)))
+        else:
+            facts.append(Atom("E", (rng.choice(pool), rng.choice(pool))))
+    return facts
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_full_search_parity(self, backend, seed):
+        facts = _random_instance(seed, nulls=seed % 2 == 1)
+        store = Instance(facts, backend=backend).store
+        for pattern in PATTERNS:
+            plan = compile_plan(tuple(pattern))
+            expected = _multiset(plan.execute(store))
+            actual = _multiset(plan.execute_batch(store, force=True))
+            assert actual == expected, (backend, seed, pattern)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_pinned_parity(self, backend, seed):
+        facts = _random_instance(seed + 100)
+        store = Instance(facts, backend=backend).store
+        for pattern in PATTERNS:
+            plan = compile_plan(tuple(pattern))
+            for delta in facts[:5]:
+                for index in range(len(plan.atoms)):
+                    entries = plan.pin_binding(index, delta, {})
+                    if entries is None:
+                        continue
+                    expected = _multiset(plan.execute(
+                        store, pin_index=index, pin_entries=entries))
+                    actual = _multiset(plan.execute_batch(
+                        store, pin_index=index, pin_entries=entries,
+                        force=True))
+                    assert actual == expected, (backend, seed, pattern,
+                                                delta, index)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partial_binding_and_projection_parity(self, backend):
+        facts = _random_instance(7)
+        store = Instance(facts, backend=backend).store
+        some = next(term for fact in facts for term in fact.args)
+        for pattern in PATTERNS:
+            plan = compile_plan(tuple(pattern))
+            if x not in plan.variables:
+                continue
+            partial = {x: some}
+            expected = _multiset(plan.execute(store, partial=partial))
+            actual = _multiset(plan.execute_batch(store, partial=partial,
+                                                  force=True))
+            assert actual == expected, (backend, pattern)
+            project = tuple(sorted(plan.variables, key=lambda t: t.name))
+            expected_rows = Counter(plan.execute(store, project=project))
+            actual_rows = Counter(plan.execute_batch(store, project=project,
+                                                     force=True))
+            assert actual_rows == expected_rows, (backend, pattern)
+
+    @given(graph_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_instances_agree(self, inst):
+        facts = sorted(inst.facts(), key=str)
+        for backend in BACKENDS:
+            store = Instance(facts, backend=backend).store
+            for pattern in PATTERNS:
+                plan = compile_plan(tuple(pattern))
+                assert _multiset(plan.execute_batch(store, force=True)) \
+                    == _multiset(plan.execute(store)), (backend, pattern)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prune_parity_with_and_without_depends_on(self, backend):
+        facts = _random_instance(11)
+        store = Instance(facts, backend=backend).store
+        inst = Instance(facts, backend=backend)
+        target = store.terms.intern(facts[0].args[0])
+
+        def make_prune(declare):
+            def prune(binding):
+                return binding.get(x) == target
+            if declare:
+                prune.depends_on = frozenset((x,))
+            return prune
+
+        for pattern in PATTERNS:
+            plan = compile_plan(tuple(pattern))
+            if x not in plan.variables:
+                continue
+            for declare in (False, True):
+                expected = _multiset(plan.execute(
+                    store, prune=make_prune(declare)))
+                actual = _multiset(plan.execute_batch(
+                    store, prune=make_prune(declare), force=True))
+                assert actual == expected, (backend, pattern, declare)
+        assert inst  # keep the facade alive for store listeners
+
+
+class TestBatchEdgeShapes:
+    def test_empty_posting_list_short_circuits(self):
+        store = parse_instance("E(a,b). S(a)").store
+        plan = compile_plan((Atom("E", (c, y)), Atom("S", (x,))))
+        assert list(plan.execute_batch(store, force=True)) == []
+
+    def test_empty_relation(self):
+        store = parse_instance("S(a). S(b)").store
+        plan = compile_plan((Atom("E", (x, y)), Atom("S", (x,))))
+        assert list(plan.execute_batch(store, force=True)) == []
+
+    def test_single_atom_body_delegates_to_tuple_path(self):
+        store = parse_instance("E(a,b). E(b,c)").store
+        plan = compile_plan((Atom("E", (x, y)),))
+        assert _multiset(plan.execute_batch(store)) \
+            == _multiset(plan.execute(store))
+
+    def test_fully_ground_body(self):
+        store = parse_instance("E(a,b). S(c)").store
+        plan = compile_plan((Atom("E", (a, b)), Atom("S", (c,))))
+        assert list(plan.execute_batch(store, force=True)) == [{}]
+        missing = compile_plan((Atom("E", (b, a)), Atom("S", (c,))))
+        assert list(missing.execute_batch(store, force=True)) == []
+
+    def test_arity_one_joins(self):
+        store = parse_instance("S(a). S(b). T(b). T(c)").store
+        plan = compile_plan((Atom("S", (x,)), Atom("T", (x,))))
+        assert _multiset(plan.execute_batch(store, force=True)) \
+            == _multiset(plan.execute(store)) == Counter(
+                [frozenset({(x, b)})])
+
+    def test_null_heavy_instance(self):
+        n1, n2 = Null(901), Null(902)
+        facts = [Atom("E", (n1, n2)), Atom("E", (n2, n1)),
+                 Atom("E", (n1, a)), Atom("S", (n1,)), Atom("S", (a,))]
+        for backend in BACKENDS:
+            store = Instance(facts, backend=backend).store
+            for pattern in PATTERNS:
+                plan = compile_plan(tuple(pattern))
+                assert _multiset(plan.execute_batch(store, force=True)) \
+                    == _multiset(plan.execute(store)), (backend, pattern)
+
+
+class TestBatchRouting:
+    def test_batch_disabled_context(self):
+        assert batch_mode_active()
+        with batch_disabled():
+            assert not batch_mode_active()
+        assert batch_mode_active()
+
+    def test_find_homomorphisms_batch_optin(self):
+        inst = Instance(parse_instance("E(a,b). E(b,c). S(a). S(b)"),
+                        backend="column")
+        pattern = [Atom("E", (x, y)), Atom("S", (z,))]
+        expected = _multiset(find_homomorphisms(pattern, inst))
+        assert _multiset(find_homomorphisms(pattern, inst, batch=True)) \
+            == expected
+        with batch_disabled():
+            assert _multiset(find_homomorphisms(pattern, inst,
+                                                batch=True)) == expected
+
+    def test_delta_search_parity_under_both_modes(self):
+        facts = _random_instance(23)
+        inst = Instance(facts, backend="column")
+        delta = facts[0]
+        for pattern in PATTERNS:
+            routed = _multiset(find_homomorphisms_through(pattern, inst,
+                                                          delta))
+            with batch_disabled():
+                pinned_tuple = _multiset(find_homomorphisms_through(
+                    pattern, inst, delta))
+            assert routed == pinned_tuple, pattern
+
+    def test_non_vectorized_store_falls_back(self):
+        inst = Instance(parse_instance("E(a,b). E(b,c). S(a)"),
+                        backend="set")
+        assert not inst.store.supports_batch()
+        plan = compile_plan((Atom("E", (x, y)), Atom("S", (z,))))
+        # Routed (no force): delegates to the tuple path on SetStore.
+        assert _multiset(plan.execute_batch(inst.store)) \
+            == _multiset(plan.execute(inst.store))

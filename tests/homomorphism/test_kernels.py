@@ -1,0 +1,163 @@
+"""Unit tests of the column kernels and the posting-list protocol.
+
+The kernels (:mod:`repro.homomorphism.kernels`) and the
+:class:`~repro.storage.base.PostingList` primitive are exercised
+directly -- intersection against brute-force set intersection,
+hash join against nested loops, candidate narrowing against full
+scans -- on both backends' protocol implementations.
+"""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.homomorphism.kernels import (candidate_rows, cross_pairs,
+                                        hash_build, hash_join, take)
+from repro.lang.atoms import Atom
+from repro.lang.instance import Instance
+from repro.lang.terms import Constant
+from repro.storage.base import PostingList
+
+BACKENDS = ["set", "column"]
+
+
+def plist(values):
+    return PostingList(array("q", values))
+
+
+class TestPostingList:
+    def test_gallop_finds_first_at_or_above(self):
+        rows = array("q", [2, 4, 4, 8, 16, 32])
+        assert PostingList.gallop(rows, 0) == 0
+        assert PostingList.gallop(rows, 2) == 0
+        assert PostingList.gallop(rows, 3) == 1
+        assert PostingList.gallop(rows, 4) == 1
+        assert PostingList.gallop(rows, 5) == 3
+        assert PostingList.gallop(rows, 33) == len(rows)
+        assert PostingList.gallop(rows, 8, lo=4) == 4
+
+    @given(st.lists(st.integers(0, 200), max_size=40),
+           st.lists(st.integers(0, 200), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_intersect_matches_set_semantics(self, left, right):
+        left, right = sorted(set(left)), sorted(set(right))
+        out = plist(left).intersect(plist(right))
+        assert list(out) == sorted(set(left) & set(right))
+
+    def test_intersect_skewed_pair(self):
+        small = plist([5, 1000, 99999])
+        large = plist(range(0, 100000, 5))
+        assert list(small.intersect(large)) == [5, 1000]
+        assert list(large.intersect(small)) == [5, 1000]
+
+    def test_empty_intersections(self):
+        assert list(plist([]).intersect(plist([1, 2]))) == []
+        assert list(plist([1, 2]).intersect(plist([]))) == []
+        assert list(plist([1, 3]).intersect(plist([2, 4]))) == []
+
+    def test_materialize_is_indexable(self):
+        rows = plist([1, 2, 3]).materialize()
+        assert rows[1] == 2 and len(rows) == 3
+
+
+class TestKernels:
+    def test_take_gathers(self):
+        column = [10, 20, 30, 40]
+        assert list(take(column, [])) == []
+        assert list(take(column, [2])) == [30]
+        assert list(take(column, [0, 3, 1])) == [10, 40, 20]
+
+    def test_hash_build_and_join_single_key(self):
+        build = hash_build([[7, 8, 7]], 3)
+        assert build == {7: [0, 2], 8: [1]}
+        left, right = hash_join([[8, 7, 9]], 3, build)
+        assert list(left) == [0, 1, 1]
+        assert list(right) == [1, 0, 2]
+
+    def test_hash_join_composite_key(self):
+        build = hash_build([[1, 1, 2], [5, 6, 5]], 3)
+        left, right = hash_join([[1, 2], [5, 5]], 2, build)
+        assert list(left) == [0, 1]
+        assert list(right) == [0, 2]
+
+    def test_cross_pairs_table_major(self):
+        left, right = cross_pairs(2, 3)
+        assert list(left) == [0, 0, 0, 1, 1, 1]
+        assert list(right) == [0, 1, 2, 0, 1, 2]
+        empty_left, empty_right = cross_pairs(0, 3)
+        assert list(empty_left) == [] and list(empty_right) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestProtocolOnStores:
+    def _store(self, backend):
+        facts = [Atom("E", (Constant(f"a{i % 4}"), Constant(f"b{i % 3}")))
+                 for i in range(12)]
+        facts += [Atom("S", (Constant("a1"),)), Atom("S", (Constant("z"),))]
+        return Instance(facts, backend=backend).store
+
+    def test_posting_lists_are_sorted_live_and_decodable(self, backend):
+        store = self._store(backend)
+        tid = store.terms.id_of(Constant("a1"))
+        plist_ = store.posting_list("E", 2, 0, tid)
+        rows = list(plist_)
+        assert rows == sorted(rows) and len(rows) == len(set(rows))
+        assert len(rows) == store.posting_size("E", 0, tid)
+        [column] = store.batch_columns("E", 2, rows, [0])
+        assert all(value == tid for value in column)
+
+    def test_row_universe_covers_the_relation(self, backend):
+        store = self._store(backend)
+        universe = store.row_universe("E", 2)
+        assert len(universe) == store.relation_size("E")
+        rows = list(universe)
+        assert rows == sorted(rows)
+        left, right = store.batch_columns("E", 2, rows, [0, 1])
+        term_of = store.terms.term
+        decoded = {Atom("E", (term_of(s), term_of(t)))
+                   for s, t in zip(left, right)}
+        assert decoded == store.facts("E")
+
+    def test_missing_term_and_relation_are_empty(self, backend):
+        store = self._store(backend)
+        tid = store.terms.id_of(Constant("z"))   # occurs only in S
+        assert len(store.posting_list("E", 2, 0, tid)) == 0
+        assert len(store.row_universe("Q", 2)) == 0
+
+    def test_postings_exclude_removed_rows(self, backend):
+        store = self._store(backend)
+        victim = next(iter(store.facts("E")))
+        tid = store.terms.id_of(victim.args[0])
+        before = len(store.posting_list("E", 2, 0, tid))
+        store.discard(victim)
+        after = store.posting_list("E", 2, 0, tid)
+        assert len(after) == before - 1
+        [column] = store.batch_columns("E", 2, list(after), [0])
+        assert all(value == tid for value in column)
+        assert len(store.row_universe("E", 2)) == store.relation_size("E")
+
+    def test_candidate_rows_narrow_like_matching(self, backend):
+        store = self._store(backend)
+        a1 = store.terms.id_of(Constant("a1"))
+        b0 = store.terms.id_of(Constant("b0"))
+        rows = candidate_rows(store, "E", 2, [(0, a1), (1, b0)])
+        left, right = store.batch_columns("E", 2, list(rows), [0, 1])
+        assert all(s == a1 and t == b0 for s, t in zip(left, right))
+        term_of = store.terms.term
+        expected = store.matching("E", {0: term_of(a1), 1: term_of(b0)})
+        assert len(rows) == len(expected)
+
+    def test_vectorized_flag_routes_supports_batch(self, backend):
+        store = self._store(backend)
+        assert store.supports_batch() == (backend == "column")
+
+    def test_generation_counts_successful_mutations(self, backend):
+        store = self._store(backend)
+        start = store.generation
+        fact = Atom("E", (Constant("fresh"), Constant("fresh")))
+        assert store.add(fact) and store.generation == start + 1
+        assert not store.add(fact) and store.generation == start + 1
+        assert store.discard(fact) and store.generation == start + 2
+        assert not store.discard(fact) and store.generation == start + 2

@@ -161,3 +161,60 @@ class TestPlanUnits:
                                            prune=make_prune(True)))
         assert _freeze(plain) == _freeze(declared)
         assert declared and all(h[x] != a for h in declared)
+
+class TestStaleStatisticsInvalidation:
+    """The order cache must not keep serving a join order whose
+    statistics have been invalidated by the chase growing a relation
+    past it (regression: orders used to be cached forever with the
+    sizes observed at first use)."""
+
+    def _plan_and_store(self, n_s, n_e):
+        facts = [Atom("S", (Constant(f"s{i}"),)) for i in range(n_s)]
+        facts += [Atom("E", (Constant(f"e{i}"), Constant(f"e{i+1}")))
+                  for i in range(n_e)]
+        store = Instance(facts).store
+        return JoinPlan([Atom("S", (x,)), Atom("E", (x, y))]), store
+
+    def test_pathological_stale_order_is_recomputed(self):
+        # Decision time: S holds 1 fact, E holds 100 -> scan S first.
+        plan, store = self._plan_and_store(1, 100)
+        assert plan.order_for(store, frozenset()) == (0, 1)
+        # The chase then grows S far past E (a >4x shift): the cached
+        # order would now enumerate 800 S facts per execution when
+        # starting from E costs 100.  The generation-aware cache must
+        # flip it.
+        for i in range(800):
+            store.add(Atom("S", (Constant(f"grown{i}"),)))
+        assert plan.order_for(store, frozenset()) == (1, 0)
+
+    def test_small_shifts_keep_the_cached_order(self):
+        plan, store = self._plan_and_store(10, 40)
+        first = plan.order_for(store, frozenset())
+        assert first == (0, 1)
+        # Growth within 4x of the decision-time snapshot: same order
+        # object, no recompute (the tie could legitimately flip at
+        # exactly equal sizes, but the rule is cheap stability).
+        for i in range(25):
+            store.add(Atom("S", (Constant(f"g{i}"),)))
+        assert plan.order_for(store, frozenset()) is first
+
+    def test_shrink_also_invalidates(self):
+        plan, store = self._plan_and_store(64, 8)
+        assert plan.order_for(store, frozenset()) == (1, 0)
+        for fact in list(store.facts("E"))[:6]:
+            store.discard(fact)
+        assert plan.order_for(store, frozenset()) == (1, 0)  # 8->2: 4x ok
+        victim = next(iter(store.facts("E")))
+        store.discard(victim)
+        assert plan.order_for(store, frozenset()) == (1, 0)  # still E first
+
+    def test_unchanged_generation_is_a_fast_path(self):
+        plan, store = self._plan_and_store(3, 9)
+        first = plan.order_for(store, frozenset())
+        calls = []
+        original = store.relation_size
+        store.relation_size = lambda rel: (calls.append(rel),
+                                           original(rel))[1]
+        assert plan.order_for(store, frozenset()) is first
+        assert calls == []      # no statistics were consulted
+        store.relation_size = original
