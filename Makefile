@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-service query-smoke fuzz-smoke kernel-smoke bench bench-smoke bench-json check-bench docs-check
+.PHONY: test test-fast test-service query-smoke fuzz-smoke kernel-smoke obs-smoke bench bench-smoke bench-json check-bench docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,18 @@ kernel-smoke:
 	    tests/homomorphism/test_batch.py -q
 	REPRO_BENCH_SIZES=4,8 $(PYTHON) -m pytest \
 	    benchmarks/bench_join_kernels.py -q --benchmark-disable
+
+# Observability smoke: the obs test package, then a real instrumented
+# 2-worker batch -- merged fleet-wide metrics on stderr, an NDJSON
+# trace validated against the span schema by tools/check_trace.py.
+obs-smoke:
+	$(PYTHON) -m pytest tests/obs -q
+	$(PYTHON) -m repro batch examples/jobs --workers 2 \
+	    --metrics --metrics-json OBS_smoke.json --trace OBS_smoke.ndjson
+	$(PYTHON) tools/check_trace.py OBS_smoke.ndjson
+	$(PYTHON) -m repro stats OBS_smoke.json > /dev/null
+	@rm -f OBS_smoke.json OBS_smoke.ndjson
+	@echo "obs ok"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q

@@ -486,3 +486,55 @@ def test_divergent_set_for_contrast(benchmark):
     result = benchmark(run)
     assert not result.terminated
     assert result.length == 500
+
+
+@pytest.mark.paper_artifact("observability")
+def test_observability_disabled_overhead(benchmark):
+    """The obs no-op fast path on a real chase family.
+
+    Since the observability PR every layer carries ``if OBS.enabled:``
+    guards; switched off (the default) they must cost nothing
+    measurable -- the committed-baseline gate (``tools/check_bench.py``
+    over the pre-obs chase-family timings) holds the line across PRs,
+    and this bench additionally measures the *enabled* cost in the
+    same process.  Both passes must chase identically, the disabled
+    pass must leave the registry untouched, and metrics + sampled
+    tracing together must stay within 1.5x of the disabled path
+    (the ISSUE budget is 5% for *disabled*, not for enabled --
+    enabled pays for real dict writes).
+    """
+    from repro.obs import metrics, trace
+    from repro.obs.trace import Tracer
+
+    factory, builder = example8_beta, example9_instance
+    inst = builder(max(SIZES))
+
+    def run_chase():
+        return chase(inst, factory(), max_steps=2_000_000)
+
+    metrics.enable(False)
+    metrics.reset()
+    result = benchmark(run_chase)
+    assert result.terminated
+    assert metrics.OBS.empty()          # zero writes on the fast path
+    disabled_seconds = _best_of(run_chase)
+
+    metrics.enable()
+    try:
+        with trace.tracing(Tracer(lambda record: None, sample=100)):
+            enabled_result = run_chase()
+            enabled_seconds = _best_of(run_chase)
+    finally:
+        metrics.enable(False)
+    assert enabled_result.length == result.length
+    assert metrics.OBS.counters["chase.runs"] >= 1
+    metrics.reset()
+
+    overhead = enabled_seconds / disabled_seconds
+    print(f"\nobs overhead: disabled {disabled_seconds:.4f}s, "
+          f"enabled+traced {enabled_seconds:.4f}s at n={max(SIZES)} "
+          f"(x{overhead:.2f})")
+    if max(SIZES) >= 16:  # below that, timings are noise-dominated
+        assert overhead <= 1.5, (
+            f"enabled observability costs x{overhead:.2f} on the "
+            f"chase family (budget: 1.5x)")

@@ -38,8 +38,32 @@ from repro.lang.constraints import Constraint
 from repro.lang.errors import ChaseFailure
 from repro.lang.instance import Instance
 from repro.lang.terms import NullFactory, NULLS
+from repro.obs import trace as _trace
+from repro.obs.metrics import OBS
 
 Observer = Callable[[ChaseStep, Instance], None]
+
+
+def _record_run(result: ChaseResult, max_steps: int) -> None:
+    """Fold one finished run into the metrics registry.
+
+    Run-level only -- the per-step loop stays uninstrumented so the
+    enabled overhead is one pass over the recorded sequence, and the
+    disabled overhead is a single ``OBS.enabled`` check per run.
+    """
+    steps = len(result.sequence)
+    OBS.inc("chase.runs")
+    OBS.inc(f"chase.status.{result.status.value}")
+    OBS.inc("chase.steps", steps)
+    OBS.inc("chase.triggers_fired", steps)
+    OBS.inc("chase.facts_added",
+            sum(len(step.new_facts) for step in result.sequence))
+    OBS.inc("chase.new_nulls", result.new_null_count())
+    OBS.observe("chase.steps_per_run", steps)
+    if max_steps > 0:
+        # Pay-as-you-go accounting (Proposition 11): how much of the
+        # granted step budget the run actually consumed.
+        OBS.observe("chase.budget.step_fraction", steps / max_steps)
 
 
 class AbortChase(Exception):
@@ -133,6 +157,19 @@ def chase(instance: Instance, sigma: Iterable[Constraint],
     attach = getattr(strategy, "attach_triggers", None)
     triggers = (None if naive or attach is None
                 else TriggerIndex(sigma, working))
+    tracer = _trace.active()
+    run_span = (tracer.start("chase", constraints=len(sigma),
+                             max_steps=max_steps)
+                if tracer is not None else None)
+
+    def done(result: ChaseResult) -> ChaseResult:
+        if OBS.enabled:
+            _record_run(result, max_steps)
+        if run_span is not None:
+            tracer.finish(run_span, status=result.status.value,
+                          steps=len(result.sequence))
+        return result
+
     try:
         strategy.start(sigma, working)
         if attach is not None:
@@ -140,33 +177,50 @@ def chase(instance: Instance, sigma: Iterable[Constraint],
         budget = _Budget(max_facts, wall_clock)
         sequence: list[ChaseStep] = []
         for index in range(max_steps):
-            selection = strategy.select(working)
+            if tracer is not None and index % tracer.sample == 0:
+                step_span = tracer.start("step", index=index)
+                search_span = tracer.start("homomorphism_search")
+                selection = strategy.select(working)
+                tracer.finish(search_span)
+            else:
+                step_span = None
+                selection = strategy.select(working)
             if selection is None:
-                return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+                if step_span is not None:
+                    tracer.finish(step_span, terminal=True)
+                return done(ChaseResult(ChaseStatus.TERMINATED, working,
+                                        sequence))
             # Budgets are checked only once an active trigger exists:
             # an instance that already reached its fixpoint is
             # TERMINATED no matter how large it is or how long the
             # final satisfaction check took.
             aborted = budget.check(working, sequence, index)
             if aborted is not None:
-                return aborted
+                return done(aborted)
             constraint, assignment = selection
             try:
                 step = apply_step(working, constraint, assignment,
                                   index=index, nulls=nulls)
             except ChaseFailure as failure:
-                return ChaseResult(ChaseStatus.FAILED, working, sequence,
-                                   failure_reason=str(failure))
+                return done(ChaseResult(ChaseStatus.FAILED, working,
+                                        sequence,
+                                        failure_reason=str(failure)))
             if triggers is not None:
                 triggers.mark_fired(constraint, assignment)
             sequence.append(step)
+            if step_span is not None:
+                tracer.finish(step_span,
+                              constraint=constraint.display_name(),
+                              new_facts=len(step.new_facts))
             try:
                 for observer in observers:
                     observer(step, working)
             except AbortChase as abort:
-                return ChaseResult(ChaseStatus.ABORTED_BY_MONITOR, working,
-                                   sequence, failure_reason=abort.reason)
-        return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working, sequence)
+                return done(ChaseResult(ChaseStatus.ABORTED_BY_MONITOR,
+                                        working, sequence,
+                                        failure_reason=abort.reason))
+        return done(ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working,
+                                sequence))
     finally:
         if triggers is not None:
             triggers.detach()
@@ -203,6 +257,13 @@ def oblivious_chase(instance: Instance, sigma: Iterable[Constraint],
     working = instance.copy() if copy else instance
     _guard_fresh_nulls(working, nulls)
     triggers = TriggerIndex(sigma, working, oblivious=True)
+
+    def done(result: ChaseResult) -> ChaseResult:
+        if OBS.enabled:
+            OBS.inc("chase.oblivious_runs")
+            _record_run(result, max_steps)
+        return result
+
     try:
         budget = _Budget(max_facts, wall_clock)
         sequence: list[ChaseStep] = []
@@ -210,32 +271,34 @@ def oblivious_chase(instance: Instance, sigma: Iterable[Constraint],
         while True:
             selection = triggers.pop_unfired()
             if selection is None:
-                return ChaseResult(ChaseStatus.TERMINATED, working, sequence)
+                return done(ChaseResult(ChaseStatus.TERMINATED, working,
+                                        sequence))
             # As in the standard chase: a drained trigger queue is
             # TERMINATED; budgets only cut short runs with work left.
             aborted = budget.check(working, sequence, index)
             if aborted is not None:
-                return aborted
+                return done(aborted)
             constraint, assignment = selection
             if index >= max_steps:
-                return ChaseResult(ChaseStatus.EXCEEDED_BUDGET, working,
-                                   sequence)
+                return done(ChaseResult(ChaseStatus.EXCEEDED_BUDGET,
+                                        working, sequence))
             triggers.mark_fired(constraint, assignment)
             try:
                 step = apply_step(working, constraint, assignment,
                                   index=index, oblivious=True, nulls=nulls)
             except ChaseFailure as failure:
-                return ChaseResult(ChaseStatus.FAILED, working, sequence,
-                                   failure_reason=str(failure))
+                return done(ChaseResult(ChaseStatus.FAILED, working,
+                                        sequence,
+                                        failure_reason=str(failure)))
             index += 1
             sequence.append(step)
             try:
                 for observer in observers:
                     observer(step, working)
             except AbortChase as abort:
-                return ChaseResult(ChaseStatus.ABORTED_BY_MONITOR,
-                                   working, sequence,
-                                   failure_reason=abort.reason)
+                return done(ChaseResult(ChaseStatus.ABORTED_BY_MONITOR,
+                                        working, sequence,
+                                        failure_reason=abort.reason))
     finally:
         triggers.detach()
 

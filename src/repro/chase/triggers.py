@@ -72,6 +72,7 @@ from repro.homomorphism.plan import compile_plan
 from repro.lang.constraints import Constraint, EGD, TGD
 from repro.lang.instance import Instance
 from repro.lang.terms import Variable
+from repro.obs.metrics import OBS
 from repro.storage.base import FactId
 
 #: Hashable identity of a trigger within one constraint: the frozen
@@ -189,6 +190,8 @@ class TriggerIndex:
         Called automatically by every selection method; cheap when no
         mutation happened since the last call.
         """
+        if self._events and OBS.enabled:
+            OBS.inc("triggers.deltas", len(self._events))
         while self._events:
             op, fid = self._events.popleft()
             if op == "-":
@@ -228,6 +231,8 @@ class TriggerIndex:
                          for var in self._frontiers[constraint])
         cache = self._satisfied_frontiers[constraint]
         if frontier in cache:
+            if OBS.enabled:
+                OBS.inc("triggers.frontier_prune_hits")
             return True
         if head_extends(constraint, self._instance, assignment):
             cache.add(frontier)
@@ -316,6 +321,9 @@ class TriggerIndex:
                         break
                 if fact is None:
                     return
+                if OBS.enabled:
+                    OBS.inc("triggers.backlog_expanded")
+                    OBS.observe("triggers.backlog_depth", len(backlog))
                 enumeration = find_homomorphisms_through(
                     body, self._instance, fact, prune=prune)
                 self._expanding[constraint] = enumeration
@@ -377,6 +385,8 @@ class TriggerIndex:
             found_keys.add(key)
             if cap is not None and len(found) >= cap:
                 break
+        if settled and OBS.enabled:
+            OBS.inc("triggers.settled_dropped", len(settled))
         for key in settled:
             del pending[key]
 

@@ -29,6 +29,16 @@ Commands
     hierarchy, backend/engine/service parity and answer invariance;
     failures are delta-debugged and written to ``examples/repros/`` as
     job specs replayable with ``repro batch``.
+``stats FILE``
+    Pretty-print a metrics snapshot (from ``--metrics-json`` or the
+    serve loop's ``{"kind": "stats"}`` request); ``--prometheus``
+    emits text exposition format instead.
+
+``chase``, ``batch``, ``serve`` and ``query`` all accept
+``--metrics`` (print fleet-wide counters to stderr on exit),
+``--metrics-json FILE`` (write the final snapshot as JSON),
+``--trace FILE`` (write NDJSON span records) and ``--trace-sample N``
+(record step-level spans every Nth step); see :mod:`repro.obs`.
 
 Constraint files use the library's text format (see
 :mod:`repro.lang.parser`), e.g.::
@@ -59,6 +69,53 @@ def _load_constraints(path: str):
     return parse_constraints(Path(path).read_text())
 
 
+class _Observability:
+    """Per-invocation observability scope for the CLI commands.
+
+    Enables the metrics registry when ``--metrics``/``--metrics-json``
+    ask for it, installs an NDJSON file tracer for ``--trace``, and on
+    exit writes/prints the final snapshot and restores global state
+    (so ``main()`` stays re-entrant for tests).
+    """
+
+    def __init__(self, args) -> None:
+        self.metrics_json = getattr(args, "metrics_json", None)
+        self.print_metrics = bool(getattr(args, "metrics", False))
+        self.want_metrics = self.print_metrics or bool(self.metrics_json)
+        self.trace_path = getattr(args, "trace", None)
+        self.sample = max(1, getattr(args, "trace_sample", 1) or 1)
+        self._handle = None
+        self._previous_tracer = None
+        self._previous_enabled = None
+
+    def __enter__(self) -> "_Observability":
+        from repro.obs import metrics, trace
+        self._previous_enabled = metrics.OBS.enabled
+        if self.want_metrics:
+            metrics.enable()
+        if self.trace_path:
+            self._handle = open(self.trace_path, "w")
+            tracer = trace.Tracer(trace.ndjson_writer(self._handle),
+                                  sample=self.sample)
+            self._previous_tracer = trace.set_tracer(tracer)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import json as _json
+        from repro.obs import metrics, trace
+        if self.trace_path:
+            trace.set_tracer(self._previous_tracer)
+            self._handle.close()
+        if self.want_metrics:
+            snap = metrics.snapshot()
+            if self.metrics_json:
+                Path(self.metrics_json).write_text(
+                    _json.dumps(snap, sort_keys=True, indent=2) + "\n")
+            if self.print_metrics:
+                print(metrics.render_text(snap), file=sys.stderr)
+        metrics.OBS.enabled = self._previous_enabled
+
+
 def cmd_analyze(args) -> int:
     sigma = _load_constraints(args.constraints)
     report = analyze(sigma, max_k=args.max_k)
@@ -73,13 +130,15 @@ def cmd_chase(args) -> int:
         # Rebuild on the requested fact-store backend (parse_instance
         # honours REPRO_BACKEND; the flag wins over the environment).
         instance = Instance(instance, backend=args.backend)
-    if args.cycle_limit:
-        result = monitored_chase(instance, sigma, args.cycle_limit,
-                                 max_steps=args.max_steps).result
-    else:
-        result = chase(instance, sigma, max_steps=args.max_steps)
-    print(f"status: {result.status.value} ({len(result.sequence)} steps)")
-    print(result.instance.render())
+    with _Observability(args):
+        if args.cycle_limit:
+            result = monitored_chase(instance, sigma, args.cycle_limit,
+                                     max_steps=args.max_steps).result
+        else:
+            result = chase(instance, sigma, max_steps=args.max_steps)
+        print(f"status: {result.status.value} "
+              f"({len(result.sequence)} steps)")
+        print(result.instance.render())
     return 0 if result.status is ChaseStatus.TERMINATED else 1
 
 
@@ -112,11 +171,12 @@ def _make_scheduler(args, workers: int):
 def cmd_batch(args) -> int:
     import json as _json
     jobs = _load_jobs(Path(args.jobs))
-    scheduler = _make_scheduler(args, workers=args.workers)
-    try:
-        results = scheduler.run_batch(jobs)
-    finally:
-        scheduler.close()
+    with _Observability(args):
+        scheduler = _make_scheduler(args, workers=args.workers)
+        try:
+            results = scheduler.run_batch(jobs)
+        finally:
+            scheduler.close()
     for result in results:
         if args.json:
             print(_json.dumps(result.to_dict(), sort_keys=True))
@@ -139,27 +199,41 @@ def cmd_serve(args) -> int:
     EOF) ends the session.
     """
     import json as _json
+    from repro.obs import metrics as _metrics
     from repro.service import job_from_dict
-    scheduler = _make_scheduler(args, workers=args.workers)
-    try:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            if line in ("quit", "exit"):
-                break
-            try:
-                job = job_from_dict(_json.loads(line))
-                result = scheduler.run_one(job)
-                payload = result.to_dict()
-            except Exception as exc:              # noqa: BLE001
-                # One malformed request (wrong-typed fields included)
-                # must never take down the long-lived serve loop.
-                payload = {"status": "error",
-                           "failure_reason": f"{type(exc).__name__}: {exc}"}
-            print(_json.dumps(payload, sort_keys=True), flush=True)
-    finally:
-        scheduler.close()
+    with _Observability(args):
+        scheduler = _make_scheduler(args, workers=args.workers)
+        try:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                if line in ("quit", "exit"):
+                    break
+                try:
+                    request = _json.loads(line)
+                    if isinstance(request, dict) \
+                            and request.get("kind") == "stats":
+                        # Introspection request: the live registry
+                        # (fleet-wide, workers already merged in) plus
+                        # the cache compartments.  No job runs.
+                        payload = {"kind": "stats",
+                                   "metrics": _metrics.snapshot(),
+                                   "cache": scheduler.cache.stats()}
+                    else:
+                        job = job_from_dict(request)
+                        result = scheduler.run_one(job)
+                        payload = result.to_dict()
+                except Exception as exc:          # noqa: BLE001
+                    # One malformed request (wrong-typed fields
+                    # included) must never take down the long-lived
+                    # serve loop.
+                    payload = {"status": "error",
+                               "failure_reason":
+                                   f"{type(exc).__name__}: {exc}"}
+                print(_json.dumps(payload, sort_keys=True), flush=True)
+        finally:
+            scheduler.close()
     return 0
 
 
@@ -194,11 +268,12 @@ def cmd_query(args) -> int:
             backend=args.backend, max_steps=args.max_steps,
             cycle_limit=args.cycle_limit,
             optimize=not args.no_optimize, depth_limit=args.depth_limit)]
-    scheduler = _make_scheduler(args, workers=args.workers)
-    try:
-        results = scheduler.run_batch(jobs)
-    finally:
-        scheduler.close()
+    with _Observability(args):
+        scheduler = _make_scheduler(args, workers=args.workers)
+        try:
+            results = scheduler.run_batch(jobs)
+        finally:
+            scheduler.close()
     for result in results:
         if args.json:
             print(_json.dumps(result.to_dict(), sort_keys=True))
@@ -281,12 +356,82 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Pretty-print a metrics snapshot (``--metrics-json`` output or a
+    ``{"kind": "stats"}`` reply from ``repro serve``).
+
+    ``-`` reads stdin, so a serve session can be piped straight
+    through::
+
+        echo '{"kind": "stats"}' | repro serve | repro stats -
+    """
+    import json as _json
+    from repro.obs import metrics as _metrics
+    raw = sys.stdin.read() if args.snapshot == "-" \
+        else Path(args.snapshot).read_text()
+    raw = raw.strip()
+    if not raw:
+        raise ReproError("empty snapshot input")
+    # A serve session emits one JSON object per line; take the first
+    # line that parses as a stats payload (or bare snapshot).
+    snap = None
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = _json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(payload, dict):
+            continue
+        if payload.get("kind") == "stats":
+            snap = payload.get("metrics", {})
+            break
+        if "counters" in payload or "gauges" in payload \
+                or "histograms" in payload:
+            snap = payload
+            break
+    if snap is None:
+        # Multi-line pretty-printed snapshot (``--metrics-json``).
+        try:
+            payload = _json.loads(raw)
+        except ValueError as exc:
+            raise ReproError(f"not a metrics snapshot: {exc}")
+        if isinstance(payload, dict) and payload.get("kind") == "stats":
+            snap = payload.get("metrics", {})
+        elif isinstance(payload, dict):
+            snap = payload
+        else:
+            raise ReproError("not a metrics snapshot (expected a JSON "
+                             "object)")
+    renderer = _metrics.render_prometheus if args.prometheus \
+        else _metrics.render_text
+    print(renderer(snap))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Chase termination analysis "
                     "(Meier/Schmidt/Lausen, VLDB 2009)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def obs_options(p):
+        p.add_argument("--metrics", action="store_true",
+                       help="enable the metrics registry and dump the "
+                            "final totals to stderr")
+        p.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="enable metrics and write the final "
+                            "snapshot as JSON to FILE")
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="write hierarchical spans as NDJSON to "
+                            "FILE")
+        p.add_argument("--trace-sample", type=int, default=1,
+                       metavar="N",
+                       help="with --trace: record only every Nth "
+                            "step-granularity span (default 1 = all)")
 
     p = sub.add_parser("analyze", help="classify a constraint set")
     p.add_argument("constraints")
@@ -302,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=backend_names(), default=None,
                    help="fact-store backend (default: $REPRO_BACKEND "
                         "or 'set')")
+    obs_options(p)
     p.set_defaults(func=cmd_chase)
 
     p = sub.add_parser("fuzz",
@@ -365,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--hard-timeout", type=float, default=None,
                        help="kill deadline in seconds for jobs without "
                             "a wall_clock budget (default: never)")
+        obs_options(p)
 
     p = sub.add_parser("batch",
                        help="run a directory of chase job files")
@@ -407,6 +554,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit one result JSON per line instead of text")
     service_options(p)
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("stats",
+                       help="pretty-print a metrics snapshot "
+                            "(--metrics-json file or a serve stats "
+                            "reply; '-' reads stdin)")
+    p.add_argument("snapshot", help="snapshot JSON file, or '-' for "
+                                    "stdin")
+    p.add_argument("--prometheus", action="store_true",
+                   help="emit Prometheus text exposition instead of "
+                        "the plain listing")
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -29,6 +29,7 @@ from array import array
 from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import OBS
 from repro.storage.base import FactStore, PostingList
 from repro.storage.interning import TermId
 
@@ -59,6 +60,8 @@ def candidate_rows(store: FactStore, relation: str, arity: int,
         else:
             postings.append(plist)
     if postings:
+        if OBS.enabled:
+            OBS.inc("kernels.postings_intersected", len(postings))
         postings.sort(key=len)
         acc = postings[0]
         for nxt in postings[1:]:
@@ -93,6 +96,8 @@ def hash_build(key_columns: Sequence[Sequence[TermId]], count: int
     """Build side of the hash join: key tuple (or bare id, for
     single-column keys) -> list of candidate-row ordinals."""
     table: Dict = {}
+    if OBS.enabled:
+        OBS.observe("kernels.hash_build_rows", count)
     if len(key_columns) == 1:
         column = key_columns[0]
         for ordinal in range(count):
@@ -119,6 +124,8 @@ def hash_join(probe_columns: Sequence[Sequence[TermId]], nrows: int,
     analogue of the tuple path's DFS enumeration order."""
     left = array("q")
     right = array("q")
+    if OBS.enabled:
+        OBS.observe("kernels.hash_probe_rows", nrows)
     if len(probe_columns) == 1:
         column = probe_columns[0]
         get = build.get

@@ -59,6 +59,7 @@ from repro.lang.terms import GroundTerm, Variable
 from repro.homomorphism.kernels import (PIN_BATCH_MIN_ROWS, candidate_rows,
                                         cross_pairs, hash_build, hash_join,
                                         take)
+from repro.obs.metrics import OBS
 from repro.storage.base import FactStore
 
 #: A complete (or partial) homomorphism: variable -> ground term.
@@ -129,6 +130,8 @@ class JoinPlan:
         if entry is not None:
             order, snapshot, store_id, generation = entry
             if store_id == id(store) and generation == store.generation:
+                if OBS.enabled:
+                    OBS.inc("plan.order_cache.hits")
                 return order
             current = tuple(store.relation_size(spec.relation)
                             for spec in self.specs)
@@ -138,7 +141,13 @@ class JoinPlan:
                 # (sizes were just verified against the snapshot).
                 entry[2] = id(store)
                 entry[3] = store.generation
+                if OBS.enabled:
+                    OBS.inc("plan.order_cache.revalidated")
                 return order
+            if OBS.enabled:
+                OBS.inc("plan.order_cache.invalidations")
+        elif OBS.enabled:
+            OBS.inc("plan.order_cache.misses")
         id_of = store.terms.id_of
         bound: Set[Variable] = set(prebound)
         if pin is not None:
@@ -243,6 +252,8 @@ class JoinPlan:
         path, so yields that outlive later mutations must be
         re-validated by the caller (the trigger index does).
         """
+        if OBS.enabled:
+            OBS.inc("plan.tuple_executions")
         table = store.terms
         intern = table.intern
         term_of = table.term
@@ -454,9 +465,13 @@ class JoinPlan:
                                        for spec in unpinned)
                                 >= PIN_BATCH_MIN_ROWS))))
         if not vectorizable:
+            if OBS.enabled:
+                OBS.inc("plan.route.tuple")
             yield from self.execute(store, partial, pin_index, pin_entries,
                                     None, prune, project)
             return
+        if OBS.enabled:
+            OBS.inc("plan.route.batch")
 
         table = store.terms
         intern = table.intern
@@ -504,6 +519,8 @@ class JoinPlan:
                     first_of[var] = position
                     new_vars.append((position, var))
             rows = candidate_rows(store, spec.relation, spec.arity, fixed)
+            if OBS.enabled:
+                OBS.inc("plan.batch.rows_scanned", len(rows))
             if not rows:
                 return
             gather = ([position for position, _ in key_vars]

@@ -1,0 +1,33 @@
+"""Observability: a near-zero-overhead metrics registry and tracer.
+
+The engine's execution is spread over three join paths, a fingerprint
+cache and a multiprocess pool; :mod:`repro.obs` is the one place their
+runtime behaviour becomes visible.  Two small modules:
+
+* :mod:`repro.obs.metrics` -- process-wide counters / gauges /
+  histograms behind a module-level registry (``OBS``).  Disabled by
+  default; every instrumented call site guards with ``if OBS.enabled``
+  so the disabled cost is a single attribute load per site and the
+  registry never allocates.  Enable with ``REPRO_OBS=1`` or the
+  ``--metrics`` CLI flags.  Snapshots are plain JSON-able dicts that
+  merge associatively -- the worker pool ships per-job snapshots over
+  its result pipe and the scheduler merges them into fleet-wide
+  totals.
+* :mod:`repro.obs.trace` -- hierarchical spans (job -> chase -> step
+  -> homomorphism search) emitted as NDJSON records with monotonic
+  timestamps, the job fingerprint as trace id, and step-level
+  sampling (``--trace-sample N``).
+
+Neither module imports anything from the rest of the package, so any
+layer may instrument itself without cycles.
+"""
+
+from repro.obs.metrics import (OBS, enable, enabled, merge, render_text,
+                               render_prometheus, snapshot)
+from repro.obs.trace import Tracer, active, ndjson_writer, set_tracer
+
+__all__ = [
+    "OBS", "enable", "enabled", "merge", "render_text",
+    "render_prometheus", "snapshot",
+    "Tracer", "active", "ndjson_writer", "set_tracer",
+]

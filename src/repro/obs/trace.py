@@ -1,0 +1,210 @@
+"""Hierarchical tracing: NDJSON span records with sampling.
+
+A :class:`Tracer` maintains a stack of open :class:`Span` objects and
+emits one JSON-able record per *finished* span::
+
+    {"trace": <trace id>, "span": "<pid>-<n>", "parent": ... | null,
+     "name": "chase", "ts": <monotonic start>, "dur": <seconds>,
+     "attrs": {...}}
+
+Spans nest through the stack: whatever span is open when ``start`` is
+called becomes the new span's parent, giving the job -> chase -> step
+-> homomorphism-search hierarchy without any plumbing through the
+layers.  Records are emitted *child first* (a parent closes last);
+consumers that need the tree resolve parents after reading the whole
+file (``tools/check_trace.py`` does).
+
+The **trace id** groups all spans of one logical request; the service
+layer sets it to the job's content fingerprint
+(:meth:`Tracer.trace_context`), so a multi-worker batch's interleaved
+records can be attributed per job.  Outside a job (bare ``repro
+chase``) the id is ``"-"``.
+
+``sample`` rate-limits the *step-granularity* spans: the chase loop
+consults :meth:`Tracer.sampled` and only opens step/search spans for
+every Nth step.  Run-level spans (job, chase) are always recorded.
+
+Like the metrics registry, the module keeps one process-wide active
+tracer (:func:`active` / :func:`set_tracer`); instrumented sites treat
+``active() is None`` as "tracing off" and skip all work.  Worker
+processes collect records into a list and ship them over the pool
+pipe; the parent replays them into its own sink via :meth:`Tracer.emit`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, List, Optional
+
+#: Trace id used outside any job context.
+NO_TRACE = "-"
+
+
+class Span:
+    """One open span; closed (and emitted) by :meth:`Tracer.finish`."""
+
+    __slots__ = ("span_id", "parent", "name", "trace", "start", "attrs")
+
+    def __init__(self, span_id: str, parent: Optional[str], name: str,
+                 trace: str, start: float, attrs: dict) -> None:
+        self.span_id = span_id
+        self.parent = parent
+        self.name = name
+        self.trace = trace
+        self.start = start
+        self.attrs = attrs
+
+
+class Tracer:
+    """Emit hierarchical span records to a sink callable.
+
+    ``sink`` receives one JSON-able dict per finished span (and per
+    replayed record); ``sample`` is the step-span sampling rate (1 =
+    every step); ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, sink: Callable[[dict], None], sample: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if sample < 1:
+            raise ValueError("sample must be at least 1")
+        self._sink = sink
+        self.sample = sample
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._traces: List[str] = []
+        self._count = 0
+        self._pid = os.getpid()
+
+    # -- trace identity -------------------------------------------------
+    @property
+    def trace_id(self) -> str:
+        return self._traces[-1] if self._traces else NO_TRACE
+
+    def trace_context(self, trace_id: str) -> "_TraceContext":
+        """``with tracer.trace_context(fingerprint):`` -- spans opened
+        inside carry ``trace_id`` (nested contexts restore on exit)."""
+        return _TraceContext(self, trace_id)
+
+    def sampled(self, index: int) -> bool:
+        """Should the step-granularity span for step ``index`` be
+        recorded under this tracer's sampling rate?"""
+        return index % self.sample == 0
+
+    # -- span lifecycle -------------------------------------------------
+    def start(self, name: str, **attrs) -> Span:
+        """Open a span named ``name``; the currently open span (if
+        any) becomes its parent."""
+        self._count += 1
+        span = Span(
+            span_id=f"{self._pid}-{self._count}",
+            parent=self._stack[-1].span_id if self._stack else None,
+            name=name, trace=self.trace_id,
+            start=self._clock(), attrs=dict(attrs))
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, **attrs) -> None:
+        """Close ``span`` (plus any younger spans left open above it)
+        and emit its record; ``attrs`` are merged in at close time."""
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if attrs:
+            span.attrs.update(attrs)
+        self.emit({
+            "trace": span.trace,
+            "span": span.span_id,
+            "parent": span.parent,
+            "name": span.name,
+            "ts": span.start,
+            "dur": max(0.0, self._clock() - span.start),
+            "attrs": span.attrs,
+        })
+
+    def span(self, name: str, **attrs) -> "_SpanContext":
+        """``with tracer.span("step", index=3):`` convenience form."""
+        return _SpanContext(self, name, attrs)
+
+    def emit(self, record: dict) -> None:
+        """Send a finished-span record to the sink (also the replay
+        entry point for records shipped from worker processes)."""
+        self._sink(record)
+
+
+class _TraceContext:
+    __slots__ = ("_tracer", "_trace_id")
+
+    def __init__(self, tracer: Tracer, trace_id: str) -> None:
+        self._tracer = tracer
+        self._trace_id = trace_id
+
+    def __enter__(self) -> Tracer:
+        self._tracer._traces.append(self._trace_id)
+        return self._tracer
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._traces.pop()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start(self._name, **self._attrs)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.finish(self._span)
+
+
+def ndjson_writer(handle) -> Callable[[dict], None]:
+    """A sink writing one compact JSON line per record to ``handle``."""
+    def sink(record: dict) -> None:
+        handle.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    return sink
+
+
+# ----------------------------------------------------------------------
+# The process-wide active tracer
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The process-wide tracer, or None when tracing is off (the
+    instrumented sites' fast path)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the process-wide tracer; returns the
+    previous one so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+class tracing:
+    """``with tracing(tracer):`` -- install for a scope, then restore."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Optional[Tracer]) -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> Optional[Tracer]:
+        self._previous = set_tracer(self._tracer)
+        return self._tracer
+
+    def __exit__(self, *exc_info) -> None:
+        set_tracer(self._previous)

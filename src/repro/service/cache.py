@@ -27,6 +27,7 @@ from dataclasses import replace
 from typing import Any, Hashable, Iterable, Optional
 
 from repro.lang.constraints import Constraint
+from repro.obs.metrics import OBS
 from repro.service.jobs import ChaseJob, JobResult
 from repro.termination.report import (analyze, constraint_set_fingerprint,
                                       TerminationReport)
@@ -39,12 +40,18 @@ class LRUCache:
     coldest entries beyond ``maxsize``.  ``maxsize=0`` disables the
     cache entirely (every ``get`` misses, ``put`` is a no-op) --
     the switch behind ``repro batch --no-cache``.
+
+    ``metric``, if given, mirrors the hit/miss/eviction counters into
+    the observability registry under ``cache.<metric>.*`` (only while
+    the registry is enabled).
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 128,
+                 metric: Optional[str] = None) -> None:
         if maxsize < 0:
             raise ValueError("maxsize must be non-negative")
         self.maxsize = maxsize
+        self.metric = metric
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -55,9 +62,13 @@ class LRUCache:
             value = self._data[key]
         except KeyError:
             self.misses += 1
+            if self.metric is not None and OBS.enabled:
+                OBS.inc(f"cache.{self.metric}.misses")
             return default
         self._data.move_to_end(key)
         self.hits += 1
+        if self.metric is not None and OBS.enabled:
+            OBS.inc(f"cache.{self.metric}.hits")
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -69,6 +80,8 @@ class LRUCache:
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
             self.evictions += 1
+            if self.metric is not None and OBS.enabled:
+                OBS.inc(f"cache.{self.metric}.evictions")
 
     def __len__(self) -> int:
         return len(self._data)
@@ -94,8 +107,8 @@ class ServiceCache:
 
     def __init__(self, result_size: int = 256,
                  report_size: int = 128) -> None:
-        self.results = LRUCache(result_size)
-        self.reports = LRUCache(report_size)
+        self.results = LRUCache(result_size, metric="results")
+        self.reports = LRUCache(report_size, metric="reports")
 
     # -- chase results --------------------------------------------------
     def lookup_result(self, job: ChaseJob) -> Optional[JobResult]:
@@ -119,7 +132,11 @@ class ServiceCache:
         """
         if not result.cacheable:
             return False
-        self.results.put(result.fingerprint, replace(result, cached=False))
+        # Metrics snapshots are stripped before caching: they describe
+        # the *execution* that produced the result, and a warm replay
+        # must not re-merge them into fleet-wide totals.
+        self.results.put(result.fingerprint,
+                         replace(result, cached=False, metrics=None))
         return True
 
     # -- termination reports --------------------------------------------

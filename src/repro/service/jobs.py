@@ -47,6 +47,7 @@ from repro.lang.schema import Schema
 from repro.lang.parser import (_render_constraint_body, parse_atoms,
                                parse_constraints, render_constraints)
 from repro.lang.terms import NullFactory
+from repro.obs import trace as _trace
 from repro.service.serialize import (atom_sort_key, decode_atom,
                                      encode_facts, encode_instance,
                                      encode_term, WireError)
@@ -66,15 +67,29 @@ _STRATEGY_NAMES = ("auto", "ordered", "round_robin", "random", "stratified")
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """One streaming event of a batch run (see the scheduler docs)."""
+    """One streaming event of a batch run (see the scheduler docs).
+
+    ``ts`` is a monotonic timestamp taken at construction (workers
+    construct events in their own process; on Linux ``CLOCK_MONOTONIC``
+    is system-wide, so parent and worker timestamps interleave
+    meaningfully).  ``fingerprint`` is the content fingerprint of the
+    job the event belongs to -- with it, the interleaved event stream
+    of a multi-worker batch can be attributed and timed per job even
+    when two jobs share a name.
+    """
 
     kind: str          # queued|started|progress|finished|cached|killed|...
     job: str           # job name
     detail: dict = field(default_factory=dict)
+    ts: float = field(default_factory=time.monotonic)
+    fingerprint: str = ""
 
     def render(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
-        return f"[{self.kind}] {self.job}" + (f" {extras}" if extras else "")
+        tagged = f"[{self.kind}] {self.job}" + (f" {extras}" if extras else "")
+        if self.fingerprint:
+            tagged += f" fp={self.fingerprint[:12]}"
+        return tagged + f" t={self.ts:.3f}"
 
 
 def instance_fingerprint(instance: Instance) -> str:
@@ -371,6 +386,12 @@ class JobResult:
     answers: Optional[List[list]] = None
     query: Optional[str] = None
     truncated: bool = False
+    #: Per-job observability snapshot recorded by a *worker process*
+    #: (:func:`repro.obs.metrics.snapshot`); None for in-process
+    #: executions (their counters land in the parent registry
+    #: directly) and for cache replays.  The scheduler merges non-None
+    #: snapshots into the parent registry -- fleet-wide totals.
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -403,6 +424,7 @@ class JobResult:
             "elapsed": self.elapsed, "cached": self.cached,
             "worker": self.worker, "answers": self.answers,
             "query": self.query, "truncated": self.truncated,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -448,7 +470,8 @@ def run_declared_chase(job, on_event: Optional[EventCallback] = None,
             if (step.index + 1) % progress_every == 0:
                 on_event(ProgressEvent(
                     "progress", job.name,
-                    {"steps": step.index + 1, "facts": len(working)}))
+                    {"steps": step.index + 1, "facts": len(working)},
+                    fingerprint=job.fingerprint()))
         observers.append(progress)
     nulls = NullFactory()
     if job.cycle_limit > 0:
@@ -550,8 +573,20 @@ def execute_any(job, on_event: Optional[EventCallback] = None,
     here, so every job kind gets the same isolation guarantees.
     """
     runner = getattr(job, "run_in_process", None)
-    if runner is not None:
+    if runner is None:
+        def runner(**kwargs):
+            return execute_job(job, **kwargs)
+    tracer = _trace.active()
+    if tracer is None:
         return runner(on_event=on_event, progress_every=progress_every,
                       worker=worker)
-    return execute_job(job, on_event=on_event,
-                       progress_every=progress_every, worker=worker)
+    # The job fingerprint is the trace id: every span of this
+    # execution -- chase, steps, searches -- groups under it, so a
+    # multi-worker batch's interleaved records attribute per job.
+    with tracer.trace_context(job.fingerprint()):
+        span = tracer.start("job", job=job.name,
+                            kind=getattr(job, "kind", "chase"))
+        result = runner(on_event=on_event, progress_every=progress_every,
+                        worker=worker)
+        tracer.finish(span, status=result.status, steps=result.steps)
+    return result

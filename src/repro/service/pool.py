@@ -51,6 +51,9 @@ from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs import trace as _trace
+from repro.obs.metrics import OBS
+from repro.obs.trace import Tracer
 from repro.service.jobs import (ChaseJob, EventCallback, execute_any,
                                 job_from_dict, JobResult, ProgressEvent,
                                 STATUS_ERROR, STATUS_KILLED)
@@ -75,8 +78,19 @@ def _worker_loop(conn) -> None:
     """Worker-process entry point: serve jobs until told to stop.
 
     Must stay top-level (picklable under spawn start methods).  Every
-    message in is ``(job_payload, progress_every)``; every message out
-    is ``("event", kind, job, detail)`` or ``("result", payload)``.
+    message in is ``(job_payload, progress_every, obs_cfg)`` where
+    ``obs_cfg`` mirrors the parent's live observability state (or is
+    None when everything is off); every message out is ``("event",
+    kind, job, detail, ts, fingerprint)``, ``("trace", records)`` or
+    ``("result", payload)``.
+
+    Per-job observability: when the parent has metrics enabled the
+    worker clears its own registry before the job and attaches the
+    snapshot to the result payload as ``metrics`` (the scheduler
+    merges it -- cross-process aggregation).  Trace records collect
+    into a list and ship as one ``("trace", ...)`` message *before*
+    the result, so the parent has replayed them by the time the
+    worker is marked idle.
     """
     worker = f"pid-{os.getpid()}"
     while True:
@@ -86,7 +100,17 @@ def _worker_loop(conn) -> None:
             break
         if message is _STOP:
             break
-        payload, progress_every = message
+        payload, progress_every, obs_cfg = message
+        obs_cfg = obs_cfg or {}
+        # Reconfigure per job: a persistent worker may serve metered
+        # and unmetered jobs back to back.
+        OBS.enabled = bool(obs_cfg.get("metrics"))
+        if OBS.enabled:
+            OBS.clear()
+        records: list = []
+        tracer = (Tracer(records.append,
+                         sample=obs_cfg.get("sample", 1))
+                  if obs_cfg.get("trace") else None)
         try:
             job = job_from_dict(payload)
             on_event: Optional[EventCallback] = None
@@ -94,19 +118,26 @@ def _worker_loop(conn) -> None:
                 def on_event(event: ProgressEvent) -> None:
                     try:
                         conn.send(("event", event.kind, event.job,
-                                   event.detail))
+                                   event.detail, event.ts,
+                                   event.fingerprint))
                     except (BrokenPipeError, OSError):  # parent went away
                         pass
-            result = execute_any(job, on_event=on_event,
-                                 progress_every=progress_every,
-                                 worker=worker)
+            with _trace.tracing(tracer):
+                result = execute_any(job, on_event=on_event,
+                                     progress_every=progress_every,
+                                     worker=worker)
         except Exception:                             # noqa: BLE001
             result = JobResult(job=payload.get("name", "job"),
                                fingerprint="", status=STATUS_ERROR,
                                failure_reason=traceback.format_exc(limit=8),
                                worker=worker)
+        out = result.to_dict()
+        if OBS.enabled:
+            out["metrics"] = OBS.snapshot()
         try:
-            conn.send(("result", result.to_dict()))
+            if records:
+                conn.send(("trace", records))
+            conn.send(("result", out))
         except (BrokenPipeError, OSError):  # pragma: no cover
             break
     conn.close()
@@ -204,20 +235,26 @@ class WorkerPool:
             if should_cancel is not None and should_cancel():
                 results.append(self._cancelled_result(job))
                 emit(ProgressEvent("killed", job.name,
-                                   {"reason": "cancelled"}))
+                                   {"reason": "cancelled"},
+                                   fingerprint=job.fingerprint()))
                 continue
-            emit(ProgressEvent("started", job.name, {"worker": "inproc"}))
+            emit(ProgressEvent("started", job.name, {"worker": "inproc"},
+                               fingerprint=job.fingerprint()))
             result = execute_any(job, on_event=emit,
                                  progress_every=self.progress_every)
             self.executed += 1
             results.append(result)
             emit(ProgressEvent("finished", job.name,
-                               {"status": result.status}))
+                               {"status": result.status,
+                                "elapsed": round(result.elapsed, 3)},
+                               fingerprint=job.fingerprint()))
         return results
 
     def _run_pool(self, jobs, emit, should_cancel) -> List[JobResult]:
         results: List[Optional[JobResult]] = [None] * len(jobs)
-        pending = deque(enumerate(jobs))
+        queued_at = time.monotonic()
+        pending = deque((index, job, queued_at)
+                        for index, job in enumerate(jobs))
         pool = self._workers
         try:
             while pending or any(worker.busy for worker in pool):
@@ -263,40 +300,61 @@ class WorkerPool:
                     emit(ProgressEvent("degraded", pending[0][1].name,
                                        {"reason": "no worker process"}))
                     while pending:
-                        index, job = pending.popleft()
+                        index, job, _ = pending.popleft()
                         if (should_cancel is not None
                                 and should_cancel()):
                             results[index] = self._cancelled_result(job)
-                            emit(ProgressEvent("killed", job.name,
-                                               {"reason": "cancelled"}))
+                            emit(ProgressEvent(
+                                "killed", job.name,
+                                {"reason": "cancelled"},
+                                fingerprint=job.fingerprint()))
                             continue
                         results[index] = execute_any(
                             job, on_event=emit,
                             progress_every=self.progress_every)
                         self.executed += 1
-                        emit(ProgressEvent("finished", job.name,
-                                           {"status":
-                                            results[index].status}))
+                        emit(ProgressEvent(
+                            "finished", job.name,
+                            {"status": results[index].status,
+                             "elapsed": round(results[index].elapsed, 3)},
+                            fingerprint=job.fingerprint()))
                     return
                 pool.append(worker)
-            index, job = pending.popleft()
+            index, job, enqueued = pending.popleft()
             try:
-                worker.conn.send((job.to_dict(), self.progress_every))
+                worker.conn.send((job.to_dict(), self.progress_every,
+                                  self._obs_config()))
             except (BrokenPipeError, OSError):
                 # Worker died between jobs: drop it, requeue, retry.
-                pending.appendleft((index, job))
+                pending.appendleft((index, job, enqueued))
                 pool.remove(worker)
                 worker.conn.close()
                 continue
             hard = self.hard_timeout_for(job)
+            now = time.monotonic()
+            if OBS.enabled:
+                OBS.inc("pool.jobs_dispatched")
+                OBS.observe("pool.dispatch_latency_s", now - enqueued)
             worker.assignment = _Assignment(
                 index=index, job=job,
-                deadline=(None if hard is None
-                          else time.monotonic() + hard),
-                started=time.monotonic())
+                deadline=(None if hard is None else now + hard),
+                started=now)
             self.executed += 1
             emit(ProgressEvent("started", job.name,
-                               {"worker": worker.label()}))
+                               {"worker": worker.label()},
+                               fingerprint=job.fingerprint()))
+
+    @staticmethod
+    def _obs_config() -> Optional[dict]:
+        """The parent's live observability state, shipped with every
+        job so workers meter/trace exactly when the parent does (None
+        when everything is off -- the common case)."""
+        tracer = _trace.active()
+        if not OBS.enabled and tracer is None:
+            return None
+        return {"metrics": OBS.enabled,
+                "trace": tracer is not None,
+                "sample": tracer.sample if tracer is not None else 1}
 
     def _spawn(self) -> Optional[_Worker]:
         try:
@@ -329,6 +387,8 @@ class WorkerPool:
             except (EOFError, OSError):
                 # The worker died mid-job (crash, OOM-kill, ...).
                 worker.process.join(timeout=1.0)
+                if OBS.enabled:
+                    OBS.inc("pool.worker_crashes")
                 results[assignment.index] = JobResult(
                     job=assignment.job.name,
                     fingerprint=assignment.job.fingerprint(),
@@ -338,19 +398,37 @@ class WorkerPool:
                     elapsed=time.monotonic() - assignment.started,
                     worker=worker.label())
                 emit(ProgressEvent("finished", assignment.job.name,
-                                   {"status": STATUS_ERROR}))
+                                   {"status": STATUS_ERROR},
+                                   fingerprint=assignment.job.fingerprint()))
                 pool.remove(worker)
                 conn.close()
                 continue
             if message[0] == "event":
-                _, kind, name, detail = message
-                emit(ProgressEvent(kind, name, detail))
+                _, kind, name, detail, ts, fingerprint = message
+                emit(ProgressEvent(kind, name, detail, ts=ts,
+                                   fingerprint=fingerprint))
+                continue
+            if message[0] == "trace":
+                # Replay worker-side span records into the parent's
+                # sink (they already carry the job's trace id).
+                tracer = _trace.active()
+                if tracer is not None:
+                    for record in message[1]:
+                        tracer.emit(record)
                 continue
             result = JobResult.from_dict(message[1])
+            if result.elapsed == 0.0:
+                # Results synthesized before the runner started (spec
+                # parse errors in the worker) carry no elapsed time;
+                # account the pool-observed wall clock so *every*
+                # JobResult reports one.
+                result.elapsed = time.monotonic() - assignment.started
             results[assignment.index] = result
             emit(ProgressEvent("finished", assignment.job.name,
                                {"status": result.status,
-                                "steps": result.steps}))
+                                "steps": result.steps,
+                                "elapsed": round(result.elapsed, 3)},
+                               fingerprint=assignment.job.fingerprint()))
             worker.assignment = None        # idle again, ready for reuse
         now = time.monotonic()
         for worker in list(pool):
@@ -358,6 +436,8 @@ class WorkerPool:
             if (assignment is not None and assignment.deadline is not None
                     and now > assignment.deadline):
                 self._terminate(worker)
+                if OBS.enabled:
+                    OBS.inc("pool.hard_timeout_kills")
                 results[assignment.index] = JobResult(
                     job=assignment.job.name,
                     fingerprint=assignment.job.fingerprint(),
@@ -370,7 +450,8 @@ class WorkerPool:
                     worker=worker.label())
                 emit(ProgressEvent("killed", assignment.job.name,
                                    {"after": round(now - assignment.started,
-                                                   3)}))
+                                                   3)},
+                                   fingerprint=assignment.job.fingerprint()))
                 pool.remove(worker)
                 worker.conn.close()
 
@@ -380,16 +461,22 @@ class WorkerPool:
             if worker.busy:
                 assignment = worker.assignment
                 self._terminate(worker)
+                if OBS.enabled:
+                    OBS.inc("pool.cancelled_jobs")
                 results[assignment.index] = self._cancelled_result(
                     assignment.job)
                 emit(ProgressEvent("killed", assignment.job.name,
-                                   {"reason": "cancelled"}))
+                                   {"reason": "cancelled"},
+                                   fingerprint=assignment.job.fingerprint()))
                 pool.remove(worker)
                 worker.conn.close()
         while pending:
-            index, job = pending.popleft()
+            index, job, _ = pending.popleft()
+            if OBS.enabled:
+                OBS.inc("pool.cancelled_jobs")
             results[index] = self._cancelled_result(job)
-            emit(ProgressEvent("killed", job.name, {"reason": "cancelled"}))
+            emit(ProgressEvent("killed", job.name, {"reason": "cancelled"},
+                               fingerprint=job.fingerprint()))
 
     def close(self) -> None:
         """Stop every persistent worker (idle ones get the stop

@@ -35,6 +35,7 @@ from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.chase.strategies import StratifiedStrategy
+from repro.obs.metrics import OBS
 from repro.service.cache import ServiceCache
 from repro.service.jobs import (ChaseJob, EventCallback, JobResult,
                                 ProgressEvent, STATUS_ERROR)
@@ -135,13 +136,14 @@ class BatchScheduler:
                 "strategy": job.strategy,
                 "max_steps": job.max_steps,
                 "report": report.fingerprint()[:12],
-            }))
+            }, fingerprint=job.fingerprint()))
             hit = self.cache.lookup_result(job)
             if hit is not None:
                 results[index] = hit
                 self._emit(ProgressEvent("cached", job.name,
                                          {"status": hit.status,
-                                          "steps": hit.steps}))
+                                          "steps": hit.steps},
+                                         fingerprint=job.fingerprint()))
                 continue
             planned.append((index, job, guaranteed))
         # Intra-batch dedup: jobs with equal fingerprints execute once
@@ -170,6 +172,7 @@ class BatchScheduler:
                     for (index, _, _), result in zip(unique, executed)}
         for index, result in by_index.items():
             results[index] = result
+            self._absorb_metrics(result)
             self.cache.store_result(result)
         retry: List[Tuple[int, ChaseJob]] = []
         for index, job, fingerprint in duplicates:
@@ -190,8 +193,21 @@ class BatchScheduler:
                                   should_cancel=should_cancel)
             for (index, _), result in zip(retry, rerun):
                 results[index] = result
+                self._absorb_metrics(result)
                 self.cache.store_result(result)
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _absorb_metrics(result: JobResult) -> None:
+        """Fold a worker's per-job metrics snapshot into the parent
+        registry (cross-process aggregation): after a batch the
+        parent's counters are fleet-wide totals no matter which
+        process -- or how many workers -- did the chasing.  In-process
+        executions carry no snapshot (their counters landed here
+        directly), so nothing double-counts.
+        """
+        if result.metrics:
+            OBS.merge_snapshot(result.metrics)
 
     # ------------------------------------------------------------------
     def run_one(self, job: ChaseJob,

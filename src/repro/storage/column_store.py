@@ -29,6 +29,7 @@ from typing import (Dict, Iterator, List, Mapping, Optional, Sequence, Set,
 
 from repro.lang.atoms import Atom
 from repro.lang.terms import GroundTerm
+from repro.obs.metrics import OBS
 from repro.storage.base import FactId, FactStore, PostingList
 from repro.storage.interning import TermId, TermTable
 
@@ -207,6 +208,8 @@ class ColumnStore(FactStore):
                 if not occurrences:
                     del self._term_pos[tid]
         if bucket.dead > _COMPACT_MIN_DEAD and bucket.dead > bucket.live:
+            if OBS.enabled:
+                OBS.inc("storage.compactions")
             bucket.compact()
         return True
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.lang.terms import GroundTerm
+from repro.obs.metrics import OBS
 
 #: Interned id of a ground term within one :class:`TermTable`.
 TermId = int
@@ -40,6 +41,11 @@ class TermTable:
             tid = len(self._terms)
             self._ids[term] = tid
             self._terms.append(term)
+            # Only the (rare) miss branch is instrumented -- intern()
+            # is the hottest call in the engine and the hit path must
+            # stay two dict operations.
+            if OBS.enabled:
+                OBS.inc("storage.terms_interned")
         return tid
 
     def id_of(self, term: GroundTerm) -> Optional[TermId]:

@@ -23,6 +23,7 @@ from typing import (Dict, Iterator, List, Mapping, Optional, Sequence, Set,
 
 from repro.lang.atoms import Atom
 from repro.lang.terms import GroundTerm
+from repro.obs.metrics import OBS
 from repro.storage.base import FactId, FactStore, PostingList
 from repro.storage.interning import TermId, TermTable
 
@@ -79,6 +80,10 @@ class SetStore(FactStore):
                 continue
             bucket.discard(fact)
             if not bucket:
+                # Empty term-index buckets are pruned eagerly -- the
+                # set-store analogue of the columnar compaction.
+                if OBS.enabled:
+                    OBS.inc("storage.index_buckets_pruned")
                 del self._by_term[key]
                 positions = self._term_positions.get(term)
                 if positions is not None:

@@ -312,3 +312,135 @@ def test_serve_reports_bad_requests_inline(monkeypatch, capsys):
     assert len(replies) == 5
     assert [reply["status"] for reply in replies] \
         == ["error"] * 4 + ["terminated"]
+
+
+# ----------------------------------------------------------------------
+# observability: --metrics / --trace / stats
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fresh_registry():
+    from repro.obs import metrics
+    metrics.reset()
+    return metrics
+
+
+def test_chase_metrics_and_trace(constraint_file, instance_file, capsys,
+                                 tmp_path, fresh_registry):
+    snap_file = tmp_path / "snap.json"
+    trace_file = tmp_path / "trace.ndjson"
+    code = main(["chase", constraint_file(TERMINATING),
+                 "--instance", instance_file,
+                 "--metrics", "--metrics-json", str(snap_file),
+                 "--trace", str(trace_file)])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "chase.runs 1" in err
+    snap = json.loads(snap_file.read_text())
+    assert snap["counters"]["chase.runs"] == 1
+    assert snap["counters"]["chase.steps"] >= 1
+    # One record per span; each line is a self-contained JSON object.
+    records = [json.loads(line) for line in
+               trace_file.read_text().splitlines()]
+    assert {r["name"] for r in records} >= {"chase", "step"}
+    # The flags are per-invocation: the registry is disabled again.
+    assert not fresh_registry.enabled()
+
+
+def test_chase_trace_sampling_thins_step_spans(constraint_file,
+                                               instance_file, tmp_path,
+                                               capsys, fresh_registry):
+    def spans_with_sample(n):
+        trace_file = tmp_path / f"trace{n}.ndjson"
+        assert main(["chase", constraint_file(TERMINATING),
+                     "--instance", instance_file,
+                     "--trace", str(trace_file),
+                     "--trace-sample", str(n)]) == 0
+        capsys.readouterr()
+        return [json.loads(line)["name"] for line in
+                trace_file.read_text().splitlines()]
+    full = spans_with_sample(1)
+    thinned = spans_with_sample(1000)
+    # Sampling drops step-granularity spans, never the run span.
+    assert "chase" in thinned
+    assert full.count("step") > thinned.count("step") or \
+        full.count("step") <= 1
+
+
+def test_batch_metrics_aggregate_across_workers(jobs_dir, capsys,
+                                                tmp_path,
+                                                fresh_registry):
+    snap_file = tmp_path / "snap.json"
+    trace_file = tmp_path / "trace.ndjson"
+    assert main(["batch", str(jobs_dir), "--workers", "2",
+                 "--metrics-json", str(snap_file),
+                 "--trace", str(trace_file)]) == 0
+    capsys.readouterr()
+    snap = json.loads(snap_file.read_text())
+    # Fleet-wide totals: both worker processes' runs are merged.
+    assert snap["counters"]["chase.runs"] == 2
+    assert snap["counters"]["pool.jobs_dispatched"] == 2
+    assert snap["histograms"]["chase.steps_per_run"]["count"] == 2
+    # The worker traces replayed into the parent's NDJSON file.
+    records = [json.loads(line) for line in
+               trace_file.read_text().splitlines()]
+    assert {r["name"] for r in records} >= {"job", "chase"}
+    assert len({r["trace"] for r in records}) == 2
+
+
+def test_batch_events_carry_fingerprint_and_timestamp(jobs_dir,
+                                                      capsys):
+    assert main(["batch", str(jobs_dir), "--workers", "1",
+                 "--events"]) == 0
+    err = capsys.readouterr().err
+    started = [line for line in err.splitlines()
+               if line.startswith("[started]")]
+    assert started
+    assert all(" fp=" in line and " t=" in line for line in started)
+
+
+def test_serve_stats_request(monkeypatch, capsys, fresh_registry):
+    request = json.dumps({"name": "s1", "constraints": TERMINATING,
+                          "instance": "S(a)."})
+    replies = serve_lines(monkeypatch, capsys,
+                          [request, '{"kind": "stats"}', "quit"],
+                          argv=["--metrics"])
+    assert len(replies) == 2
+    stats = replies[1]
+    assert stats["kind"] == "stats"
+    assert stats["metrics"]["counters"]["chase.runs"] == 1
+    assert stats["cache"]["results"]["misses"] == 1
+
+
+def test_stats_renders_snapshot_file(tmp_path, capsys):
+    snap_file = tmp_path / "snap.json"
+    snap_file.write_text(json.dumps(
+        {"counters": {"chase.runs": 3}, "gauges": {},
+         "histograms": {}}))
+    assert main(["stats", str(snap_file)]) == 0
+    assert "chase.runs 3" in capsys.readouterr().out
+    assert main(["stats", str(snap_file), "--prometheus"]) == 0
+    assert "repro_chase_runs 3" in capsys.readouterr().out
+
+
+def test_stats_reads_a_serve_reply_stream(tmp_path, monkeypatch,
+                                          capsys):
+    stream = tmp_path / "serve.out"
+    stream.write_text(
+        json.dumps({"status": "terminated", "facts": 2}) + "\n"
+        + json.dumps({"kind": "stats",
+                      "metrics": {"counters": {"chase.runs": 5}},
+                      "cache": {}}) + "\n")
+    assert main(["stats", str(stream)]) == 0
+    assert "chase.runs 5" in capsys.readouterr().out
+    # "-" reads stdin, the piping form.
+    monkeypatch.setattr("sys.stdin", io.StringIO(
+        stream.read_text()))
+    assert main(["stats", "-"]) == 0
+    assert "chase.runs 5" in capsys.readouterr().out
+
+
+def test_stats_rejects_non_snapshots(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2, 3]")
+    assert main(["stats", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err

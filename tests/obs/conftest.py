@@ -1,0 +1,23 @@
+"""Isolation for observability tests.
+
+The registry and the active tracer are process-wide globals; every
+test in this package starts from a clean, disabled state and restores
+whatever was installed before, so obs tests can't leak counters or a
+tracer into the rest of the suite (or see each other's data).
+"""
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    previous_enabled = metrics.OBS.enabled
+    previous_tracer = trace.set_tracer(None)
+    metrics.OBS.enabled = False
+    metrics.OBS.clear()
+    yield
+    metrics.OBS.enabled = previous_enabled
+    metrics.OBS.clear()
+    trace.set_tracer(previous_tracer)

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Validate an NDJSON trace file emitted by ``--trace``.
+
+``repro chase/batch/query/serve --trace FILE`` writes one JSON object
+per finished span (see :mod:`repro.obs.trace`).  This checker enforces
+the schema that downstream consumers (and the obs-smoke CI step) rely
+on:
+
+* every line parses as a JSON object with exactly the fields
+  ``trace``, ``span``, ``parent``, ``name``, ``ts``, ``dur`` and
+  ``attrs``;
+* ``trace``/``span``/``name`` are non-empty strings, ``parent`` is a
+  string or null, ``ts`` is a number, ``dur`` is a non-negative
+  number, ``attrs`` is an object;
+* span ids are unique within their trace;
+* every non-null parent resolves to a span of the same trace.
+
+Parent resolution is checked after the whole file is read: spans are
+emitted child-first (a span's record is written when it *finishes*),
+so a child legitimately appears before its parent.
+
+Usage::
+
+    python tools/check_trace.py TRACE.ndjson [--min-spans N]
+
+Exit status 1 on any violation, 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = frozenset(
+    ("trace", "span", "parent", "name", "ts", "dur", "attrs"))
+
+
+def check_record(record, lineno, errors):
+    """Validate one parsed span record; append messages to ``errors``."""
+    if not isinstance(record, dict):
+        errors.append(f"line {lineno}: not a JSON object")
+        return None
+    fields = set(record)
+    missing = REQUIRED_FIELDS - fields
+    extra = fields - REQUIRED_FIELDS
+    if missing:
+        errors.append(f"line {lineno}: missing fields "
+                      f"{sorted(missing)}")
+    if extra:
+        errors.append(f"line {lineno}: unexpected fields "
+                      f"{sorted(extra)}")
+    if missing:
+        return None
+    for key in ("trace", "span", "name"):
+        value = record[key]
+        if not isinstance(value, str) or not value:
+            errors.append(f"line {lineno}: {key!r} must be a "
+                          f"non-empty string, got {value!r}")
+    parent = record["parent"]
+    if parent is not None and not isinstance(parent, str):
+        errors.append(f"line {lineno}: 'parent' must be a string or "
+                      f"null, got {parent!r}")
+    if not isinstance(record["ts"], (int, float)) \
+            or isinstance(record["ts"], bool):
+        errors.append(f"line {lineno}: 'ts' must be a number")
+    dur = record["dur"]
+    if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+            or dur < 0:
+        errors.append(f"line {lineno}: 'dur' must be a non-negative "
+                      f"number, got {dur!r}")
+    if not isinstance(record["attrs"], dict):
+        errors.append(f"line {lineno}: 'attrs' must be an object")
+    return record
+
+
+def check_trace(lines):
+    """Validate all lines; return ``(span_count, errors)``."""
+    errors = []
+    seen = {}          # (trace, span) -> lineno
+    parents = []       # (trace, parent, lineno) awaiting resolution
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            errors.append(f"line {lineno}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        record = check_record(record, lineno, errors)
+        if record is None:
+            continue
+        count += 1
+        trace = record.get("trace")
+        span = record.get("span")
+        if isinstance(trace, str) and isinstance(span, str):
+            key = (trace, span)
+            if key in seen:
+                errors.append(f"line {lineno}: span {span!r} of trace "
+                              f"{trace!r} already seen on line "
+                              f"{seen[key]}")
+            else:
+                seen[key] = lineno
+            parent = record.get("parent")
+            if isinstance(parent, str):
+                parents.append((trace, parent, lineno))
+    for trace, parent, lineno in parents:
+        if (trace, parent) not in seen:
+            errors.append(f"line {lineno}: parent {parent!r} never "
+                          f"emitted in trace {trace!r}")
+    return count, errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="NDJSON trace file")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        metavar="N",
+                        help="fail if fewer than N valid spans "
+                             "(default 1 -- an empty trace from an "
+                             "instrumented run is itself a bug)")
+    args = parser.parse_args(argv)
+    with open(args.trace) as handle:
+        count, errors = check_trace(handle)
+    for message in errors:
+        print(f"check_trace: {message}", file=sys.stderr)
+    if count < args.min_spans:
+        print(f"check_trace: only {count} valid spans "
+              f"(need >= {args.min_spans})", file=sys.stderr)
+        return 1
+    if errors:
+        return 1
+    noun = "span" if count == 1 else "spans"
+    print(f"check_trace: OK ({count} {noun})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
