@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-service query-smoke fuzz-smoke kernel-smoke obs-smoke bench bench-smoke bench-json check-bench docs-check
+.PHONY: test test-fast test-service query-smoke fuzz-smoke kernel-smoke obs-smoke http-smoke bench bench-smoke bench-json check-bench docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +51,13 @@ obs-smoke:
 	$(PYTHON) -m repro stats OBS_smoke.json > /dev/null
 	@rm -f OBS_smoke.json OBS_smoke.ndjson
 	@echo "obs ok"
+
+# HTTP front-end smoke: a real `repro serve --http` subprocess on an
+# ephemeral port, a 16-request mixed burst (chase/query/cached/
+# malformed) from concurrent stdlib clients, /stats schema validation
+# and a graceful POST /shutdown drain -- all via tools/http_smoke.py.
+http-smoke:
+	$(PYTHON) tools/http_smoke.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q

@@ -192,45 +192,36 @@ def cmd_batch(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """One job JSON per input line -> one result JSON per output line.
+    """Serve job requests over NDJSON stdin or HTTP (``--http``).
 
-    The loop keeps a warm fingerprint cache for its whole lifetime, so
-    repeated requests are answered without re-chasing.  ``quit`` (or
-    EOF) ends the session.
+    Both transports interpret requests through the same
+    :class:`~repro.service.dispatch.ServiceSession` dispatch table, so
+    their semantics cannot drift; the NDJSON loop (one job JSON per
+    input line -> one result JSON per output line, ``quit`` or EOF
+    ends the session) is the transport-free reference.  Either way the
+    session keeps a warm fingerprint cache for its whole lifetime, so
+    repeated requests are answered without re-chasing.
     """
     import json as _json
-    from repro.obs import metrics as _metrics
-    from repro.service import job_from_dict
+    from repro.service.dispatch import ServiceSession
     with _Observability(args):
         scheduler = _make_scheduler(args, workers=args.workers)
+        session = ServiceSession(
+            scheduler, request_wall_clock=args.request_wall_clock)
         try:
+            if getattr(args, "http", False):
+                from repro.service.http import serve_http
+                return serve_http(session, host=args.host,
+                                  port=args.port,
+                                  queue_bound=args.queue_bound,
+                                  max_body=args.max_body,
+                                  allow_shutdown=args.shutdown_endpoint)
             for line in sys.stdin:
-                line = line.strip()
-                if not line:
-                    continue
-                if line in ("quit", "exit"):
+                if line.strip() in ("quit", "exit"):
                     break
-                try:
-                    request = _json.loads(line)
-                    if isinstance(request, dict) \
-                            and request.get("kind") == "stats":
-                        # Introspection request: the live registry
-                        # (fleet-wide, workers already merged in) plus
-                        # the cache compartments.  No job runs.
-                        payload = {"kind": "stats",
-                                   "metrics": _metrics.snapshot(),
-                                   "cache": scheduler.cache.stats()}
-                    else:
-                        job = job_from_dict(request)
-                        result = scheduler.run_one(job)
-                        payload = result.to_dict()
-                except Exception as exc:          # noqa: BLE001
-                    # One malformed request (wrong-typed fields
-                    # included) must never take down the long-lived
-                    # serve loop.
-                    payload = {"status": "error",
-                               "failure_reason":
-                                   f"{type(exc).__name__}: {exc}"}
+                payload = session.handle_line(line)
+                if payload is None:          # blank line
+                    continue
                 print(_json.dumps(payload, sort_keys=True), flush=True)
         finally:
             scheduler.close()
@@ -524,8 +515,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("serve",
-                       help="serve jobs from stdin (one JSON per line)")
+                       help="serve jobs from stdin (one JSON per line) "
+                            "or over HTTP (--http)")
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--http", action="store_true",
+                   help="serve over HTTP instead of NDJSON stdin")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --http (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="bind port for --http (0 = ephemeral; the "
+                        "bound port is announced on stdout as a "
+                        '{"kind": "listening"} JSON line)')
+    p.add_argument("--queue-bound", type=int, default=64,
+                   help="pending-job queue bound for --http; submits "
+                        "beyond it get 429 + Retry-After (default 64)")
+    p.add_argument("--max-body", type=int, default=1024 * 1024,
+                   help="request-body byte limit for --http; larger "
+                        "payloads get 413 (default 1 MiB)")
+    p.add_argument("--request-wall-clock", type=float, default=None,
+                   metavar="SECONDS",
+                   help="clamp every request's soft wall-clock budget "
+                        "(both transports; over-budget requests come "
+                        "back as structured partial results)")
+    p.add_argument("--shutdown-endpoint", action="store_true",
+                   help="with --http: enable POST /shutdown for a "
+                        "graceful drain")
     service_options(p)
     p.set_defaults(func=cmd_serve)
 

@@ -25,13 +25,24 @@ a fingerprint-keyed cache without re-executing anything.
 * :mod:`repro.service.scheduler` -- the batch scheduler: consults the
   cached :class:`~repro.termination.report.TerminationReport` to pick
   a strategy, runs guaranteed-terminating jobs ahead of budget-capped
-  unknown ones, and streams progress events.
+  unknown ones, and streams progress events;
+* :mod:`repro.service.dispatch` -- transport-neutral request dispatch
+  (:class:`ServiceSession`): the kind-keyed dispatch table, structured
+  error contract and per-request wall-clock clamp shared by the NDJSON
+  loop and the HTTP gateway;
+* :mod:`repro.service.http` -- the asyncio HTTP/1.1 front-end
+  (``repro serve --http``): job submission, polling, chunked NDJSON
+  event streams, fingerprint-keyed result fetches, ``/stats`` with
+  Prometheus negotiation, bounded-queue backpressure and graceful
+  drain.
 
-CLI entry points: ``repro batch <dir>``, ``repro serve`` and
-``repro query``.
+CLI entry points: ``repro batch <dir>``, ``repro serve`` (NDJSON or
+``--http``) and ``repro query``.
 """
 
 from repro.service.cache import LRUCache, ServiceCache
+from repro.service.dispatch import (error_payload, request_kind,
+                                    RequestError, ServiceSession)
 from repro.service.jobs import (ChaseJob, execute_any, execute_job,
                                 instance_fingerprint, job_from_dict,
                                 job_from_path, JobResult, ProgressEvent,
@@ -45,10 +56,11 @@ from repro.service.serialize import (decode_atom, decode_instance,
                                      encode_instance, encode_result)
 
 __all__ = [
-    "BatchScheduler", "ChaseJob", "execute_any", "execute_job",
-    "execute_query_job", "instance_fingerprint", "job_from_dict",
-    "job_from_path", "JobResult", "LRUCache", "ProgressEvent", "QueryJob",
-    "resolve_strategy", "ServiceCache", "STATUS_ERROR", "STATUS_KILLED",
-    "WorkerPool", "decode_atom", "decode_instance", "decode_result",
-    "encode_atom", "encode_instance", "encode_result",
+    "BatchScheduler", "ChaseJob", "error_payload", "execute_any",
+    "execute_job", "execute_query_job", "instance_fingerprint",
+    "job_from_dict", "job_from_path", "JobResult", "LRUCache",
+    "ProgressEvent", "QueryJob", "request_kind", "RequestError",
+    "resolve_strategy", "ServiceCache", "ServiceSession", "STATUS_ERROR",
+    "STATUS_KILLED", "WorkerPool", "decode_atom", "decode_instance",
+    "decode_result", "encode_atom", "encode_instance", "encode_result",
 ]

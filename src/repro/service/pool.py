@@ -203,6 +203,18 @@ class WorkerPool:
         self._workers: List[_Worker] = []
 
     # ------------------------------------------------------------------
+    def worker_pids(self) -> List[int]:
+        """PIDs of the currently live persistent workers.  The HTTP
+        gateway's ``/stats`` gauge and the stress suite's no-leak
+        assertion both read this (a drained pool reports [])."""
+        return [worker.process.pid for worker in self._workers
+                if worker.process.is_alive()]
+
+    @property
+    def alive_workers(self) -> int:
+        return len(self.worker_pids())
+
+    # ------------------------------------------------------------------
     def hard_timeout_for(self, job: ChaseJob) -> Optional[float]:
         if job.wall_clock is not None:
             return job.wall_clock + self.hard_timeout_grace

@@ -77,6 +77,19 @@ class BatchScheduler:
         if self.on_event is not None:
             self.on_event(event)
 
+    def peek_cached(self, job: ChaseJob) -> Optional[JobResult]:
+        """A cached result for ``job`` (after planning), without
+        executing anything or emitting events; None on a miss or when
+        planning itself fails (the failure will resurface, structured,
+        when the job actually runs).  The HTTP gateway's submit fast
+        path: a warm fingerprint is answered inline instead of
+        occupying a queue slot."""
+        try:
+            planned, _, _ = self.plan_job(job)
+        except Exception:                             # noqa: BLE001
+            return None
+        return self.cache.lookup_result(planned)
+
     def plan_job(self, job: ChaseJob) -> Tuple[ChaseJob, TerminationReport,
                                                bool]:
         """Resolve one job against its termination report.
@@ -111,14 +124,19 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
     def run_batch(self, jobs: Sequence[ChaseJob],
-                  should_cancel: Optional[Callable[[], bool]] = None
+                  should_cancel: Optional[Callable[[], bool]] = None,
+                  on_event: Optional[EventCallback] = None
                   ) -> List[JobResult]:
         """Plan, cache-check, execute and collect a batch.
 
         Results come back in the *input* order regardless of the
         execution order (guaranteed-first) and of which results were
-        answered from the cache.
+        answered from the cache.  ``on_event`` overrides the
+        constructor's event sink for this call only -- the transport
+        split: one scheduler can serve the NDJSON loop and the HTTP
+        gateway's per-batch event routing at different call sites.
         """
+        emit = on_event if on_event is not None else self._emit
         planned: List[Tuple[int, ChaseJob, bool]] = []
         results: List[Optional[JobResult]] = [None] * len(jobs)
         for index, job in enumerate(jobs):
@@ -128,10 +146,10 @@ class BatchScheduler:
                 results[index] = JobResult(
                     job=job.name, fingerprint="", status=STATUS_ERROR,
                     failure_reason=f"planning failed: {exc}")
-                self._emit(ProgressEvent("finished", job.name,
-                                         {"status": STATUS_ERROR}))
+                emit(ProgressEvent("finished", job.name,
+                                   {"status": STATUS_ERROR}))
                 continue
-            self._emit(ProgressEvent("queued", job.name, {
+            emit(ProgressEvent("queued", job.name, {
                 "guaranteed": guaranteed,
                 "strategy": job.strategy,
                 "max_steps": job.max_steps,
@@ -140,10 +158,10 @@ class BatchScheduler:
             hit = self.cache.lookup_result(job)
             if hit is not None:
                 results[index] = hit
-                self._emit(ProgressEvent("cached", job.name,
-                                         {"status": hit.status,
-                                          "steps": hit.steps},
-                                         fingerprint=job.fingerprint()))
+                emit(ProgressEvent("cached", job.name,
+                                   {"status": hit.status,
+                                    "steps": hit.steps},
+                                   fingerprint=job.fingerprint()))
                 continue
             planned.append((index, job, guaranteed))
         # Intra-batch dedup: jobs with equal fingerprints execute once
@@ -166,7 +184,7 @@ class BatchScheduler:
         # Guaranteed-terminating jobs first; stable within each class.
         unique.sort(key=lambda item: 0 if item[2] else 1)
         executed = self.pool.run([job for _, job, _ in unique],
-                                 on_event=self.on_event,
+                                 on_event=emit,
                                  should_cancel=should_cancel)
         by_index = {index: result
                     for (index, _, _), result in zip(unique, executed)}
@@ -179,9 +197,9 @@ class BatchScheduler:
             source = by_index[first_of[fingerprint]]
             if source.cacheable:
                 results[index] = replace(source, job=job.name, cached=True)
-                self._emit(ProgressEvent("cached", job.name,
-                                         {"status": source.status,
-                                          "via": source.job}))
+                emit(ProgressEvent("cached", job.name,
+                                   {"status": source.status,
+                                    "via": source.job}))
             else:
                 # The shared run ended in a timing-dependent state
                 # (killed, error, wall clock) -- replaying that for a
@@ -189,7 +207,7 @@ class BatchScheduler:
                 retry.append((index, job))
         if retry:
             rerun = self.pool.run([job for _, job in retry],
-                                  on_event=self.on_event,
+                                  on_event=emit,
                                   should_cancel=should_cancel)
             for (index, _), result in zip(retry, rerun):
                 results[index] = result
@@ -211,12 +229,13 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
     def run_one(self, job: ChaseJob,
-                should_cancel: Optional[Callable[[], bool]] = None
-                ) -> JobResult:
+                should_cancel: Optional[Callable[[], bool]] = None,
+                on_event: Optional[EventCallback] = None) -> JobResult:
         """Serve a single job through the same plan/cache/execute path
         (the ``repro serve`` loop).  Worker processes persist across
         calls; :meth:`close` releases them."""
-        return self.run_batch([job], should_cancel=should_cancel)[0]
+        return self.run_batch([job], should_cancel=should_cancel,
+                              on_event=on_event)[0]
 
     def close(self) -> None:
         """Release the pool's persistent worker processes."""

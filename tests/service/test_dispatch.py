@@ -1,0 +1,158 @@
+"""The transport-neutral dispatch layer: table lookup, structured
+errors, budgets.
+
+The load-bearing regressions here: a request whose ``kind`` resolves
+through the dispatch table but whose payload is incomplete (missing
+required fields) must come back as a *structured* error reply --
+``{"status": "error", "error": <code>, "kind": <kind>,
+"failure_reason": ...}`` -- never silence, never a raised exception.
+Both serve transports (NDJSON and HTTP) sit on this contract.
+"""
+
+import pytest
+
+from gateway_utils import DIVERGENT, spec, TERMINATING
+from repro.service import BatchScheduler, ServiceCache
+from repro.service.dispatch import (error_payload, RequestError,
+                                    request_kind, ServiceSession)
+
+
+@pytest.fixture
+def session():
+    scheduler = BatchScheduler(workers=1,
+                               cache=ServiceCache(result_size=64))
+    try:
+        yield ServiceSession(scheduler)
+    finally:
+        scheduler.close()
+
+
+# ----------------------------------------------------------------------
+# request_kind: the dispatch key
+# ----------------------------------------------------------------------
+def test_request_kind_mirrors_job_discriminator():
+    assert request_kind({"kind": "chase"}) == "chase"
+    assert request_kind({"kind": "stats"}) == "stats"
+    assert request_kind({"constraints": "..."}) == "chase"
+    assert request_kind({"query": "q(x) <- S(x)"}) == "query"
+
+
+def test_request_kind_rejects_non_dicts_and_bad_kinds():
+    with pytest.raises(RequestError) as exc_info:
+        request_kind([1, 2, 3])
+    assert exc_info.value.code == "invalid_request"
+    with pytest.raises(RequestError) as exc_info:
+        request_kind({"kind": 7})
+    assert exc_info.value.code == "invalid_request"
+
+
+# ----------------------------------------------------------------------
+# the satellite fix: valid kind, incomplete payload -> structured error
+# ----------------------------------------------------------------------
+def test_valid_kind_with_missing_fields_is_a_structured_error(session):
+    """The dispatch-table lookup succeeding is no promise the payload
+    is complete: ``{"kind": "chase"}`` resolves to the job handler but
+    misses every required field.  The reply must be the structured
+    error contract, with the kind echoed so batched clients can
+    attribute the rejection."""
+    reply = session.handle({"kind": "chase"})
+    assert reply["status"] == "error"
+    assert reply["error"] == "invalid_spec"
+    assert reply["kind"] == "chase"
+    assert "constraints" in reply["failure_reason"]
+    assert "Traceback" not in reply["failure_reason"]
+
+
+def test_query_kind_with_missing_fields_echoes_query(session):
+    reply = session.handle({"kind": "query",
+                            "constraints": TERMINATING})
+    assert reply["status"] == "error"
+    assert reply["kind"] == "query"
+
+
+def test_wrong_typed_fields_are_structured_not_raised(session):
+    reply = session.handle({"constraints": 5, "instance": "S(a)."})
+    assert reply["status"] == "error"
+    assert reply["kind"] == "chase"
+    # Whatever blew up inside the handler, the reply is structured.
+    assert isinstance(reply["failure_reason"], str)
+
+
+def test_unknown_kind_is_a_structured_error(session):
+    reply = session.handle({"kind": "frobnicate"})
+    assert reply["status"] == "error"
+    assert reply["error"] == "unknown_kind"
+    assert "frobnicate" in reply["failure_reason"]
+
+
+def test_handle_never_raises_even_for_garbage(session):
+    for garbage in (None, 42, "x", [], {"kind": None, "query": 9}):
+        reply = session.handle(garbage)
+        assert reply["status"] in ("error",) or "status" in reply
+
+
+# ----------------------------------------------------------------------
+# handle_line: the NDJSON transport surface
+# ----------------------------------------------------------------------
+def test_handle_line_blank_and_bad_json(session):
+    assert session.handle_line("   \n") is None
+    reply = session.handle_line("{not json")
+    assert reply["status"] == "error"
+    assert reply["error"] == "invalid_json"
+
+
+def test_handle_line_serves_jobs_and_stats(session):
+    import json
+    reply = session.handle_line(json.dumps(spec("j1")))
+    assert reply["status"] == "terminated"
+    reply = session.handle_line('{"kind": "stats"}')
+    assert reply["kind"] == "stats"
+    assert "metrics" in reply and "cache" in reply
+
+
+# ----------------------------------------------------------------------
+# parse_job / budgets / cached_result (the HTTP gateway surface)
+# ----------------------------------------------------------------------
+def test_parse_job_returns_the_planned_job(session):
+    job = session.parse_job(spec("p1"))          # strategy="auto" spec
+    assert job.strategy in ("round_robin", "stratified")
+    # The planned fingerprint is the cache key: running the job and
+    # looking its fingerprint up must agree.
+    result = session.scheduler.run_one(job)
+    assert session.cached_result(job.fingerprint()) is not None
+    assert result.fingerprint == job.fingerprint()
+
+
+def test_parse_job_applies_unknown_step_cap(session):
+    job = session.parse_job(spec("p2", constraints=DIVERGENT,
+                                 max_steps=10_000_000))
+    assert job.max_steps == session.scheduler.unknown_step_cap
+
+
+def test_request_wall_clock_clamps_only_looser_budgets(session):
+    session.request_wall_clock = 2.0
+    assert session.budgeted(
+        session.parse_job(spec("b1"))).wall_clock == 2.0
+    tight = session.parse_job(spec("b2", wall_clock=0.5))
+    assert session.budgeted(tight).wall_clock == 0.5
+
+
+def test_wall_clock_clamp_is_cache_sound(session):
+    """wall_clock is excluded from fingerprints, so the clamp cannot
+    fork the cache key space."""
+    loose = session.parse_job(spec("b3"))
+    session.request_wall_clock = 1.0
+    clamped = session.parse_job(spec("b3"))
+    assert clamped.wall_clock == 1.0
+    assert clamped.fingerprint() == loose.fingerprint()
+
+
+def test_cached_result_miss_is_none(session):
+    assert session.cached_result("0" * 64) is None
+
+
+def test_error_payload_shape():
+    payload = error_payload("boom", "some_code", kind="chase")
+    assert payload == {"status": "error", "error": "some_code",
+                       "failure_reason": "boom", "kind": "chase"}
+    assert "kind" not in error_payload("boom")

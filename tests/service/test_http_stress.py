@@ -1,0 +1,214 @@
+"""Concurrent-client stress: the gateway under a mixed workload.
+
+The acceptance gate for the HTTP front-end: at least 16 concurrent
+asyncio clients firing a mix of chase submissions, query submissions,
+cache-hitting repeats, stats probes and malformed requests against a
+live gateway.  Every request gets a well-formed response, 429s appear
+only above the queue bound, every served result is byte-identical to
+an in-process ``execute_any`` of the same spec, and the worker
+processes are all gone after drain + close.
+"""
+
+import asyncio
+import json
+import os
+
+from gateway_utils import (DIVERGENT, gateway, request, spec,
+                           TERMINATING)
+from repro.service import execute_any, job_from_dict
+
+N_CLIENTS = 16
+
+#: The deterministic fields of a result payload -- what "the same
+#: answer" means across transports.  ``fingerprint`` is excluded
+#: because planning pins ``strategy="auto"`` to a concrete strategy
+#: (changing the fingerprint, not the outcome); ``elapsed`` /
+#: ``worker`` / ``cached`` / ``metrics`` are execution provenance.
+DETERMINISTIC_FIELDS = ("status", "steps", "new_nulls", "facts",
+                        "answers", "query", "truncated")
+
+
+def comparable(result_dict):
+    return json.dumps({field: result_dict[field]
+                       for field in DETERMINISTIC_FIELDS},
+                      sort_keys=True)
+
+
+def chase_spec(client):
+    return spec(f"chase-{client}",
+                instance=f"S(a{client}). S(b{client}).")
+
+
+def query_spec_for(client):
+    return spec(f"query-{client}",
+                instance=f"E(a{client}, b{client}). S(a{client}).",
+                query="q(x) <- E(x, y)")
+
+
+SHARED = spec("shared", instance="S(shared).")
+MALFORMED = {"kind": "chase", "name": "broken"}    # no constraints
+
+
+async def one_client(port, client, outcomes):
+    # 1. Unique chase job, submitted async, polled to completion.
+    status, _, sub = await request(port, "POST", "/jobs",
+                                   body=chase_spec(client))
+    assert status in (200, 202), (client, status)
+    for _ in range(1000):
+        status, _, poll = await request(port, "GET",
+                                        f"/jobs/{sub['id']}")
+        assert status == 200
+        if poll["status"] == "done":
+            break
+        await asyncio.sleep(0.01)
+    assert poll["status"] == "done", f"client {client} job never done"
+    assert poll["result"]["status"] == "terminated"
+    outcomes["chase"][client] = (sub["fingerprint"], poll["result"])
+
+    # 2. Query job, blocking submit.
+    status, _, reply = await request(port, "POST", "/jobs?wait=1",
+                                     body=query_spec_for(client))
+    assert status == 200
+    assert reply["result"]["status"] == "terminated"
+    # One certain answer: the constant a<client> (wire-encoded).
+    assert reply["result"]["answers"] == [[["c", f"a{client}"]]]
+    outcomes["query"][client] = reply["result"]
+
+    # 3. The shared spec: identical fingerprint across all clients --
+    # answered from the cache fast path (200) or executed/deduped
+    # (202 + poll); either way the same deterministic result.
+    status, _, reply = await request(port, "POST", "/jobs?wait=1",
+                                     body=SHARED)
+    assert status in (200, 429), (client, status)
+    if status == 429:
+        outcomes["saw_429"].append(client)
+    else:
+        outcomes["shared"][client] = reply["result"]
+
+    # 4. Malformed spec: structured 400, kind echoed, no traceback.
+    status, _, reply = await request(port, "POST", "/jobs",
+                                     body=MALFORMED)
+    assert status == 400
+    assert reply["status"] == "error"
+    assert reply["error"] == "invalid_spec"
+    assert "Traceback" not in reply["failure_reason"]
+
+    # 5. Stats probe mid-flight.
+    status, _, stats = await request(port, "GET", "/stats")
+    assert status == 200
+    assert stats["kind"] == "stats"
+
+    # 6. The unique job's result is fetchable by fingerprint.
+    fingerprint, _ = outcomes["chase"][client]
+    status, _, cached = await request(port, "GET",
+                                      f"/results/{fingerprint}")
+    assert status == 200
+    assert cached["cached"] is True
+
+
+def test_sixteen_concurrent_clients_mixed_workload():
+    outcomes = {"chase": {}, "query": {}, "shared": {},
+                "saw_429": []}
+    worker_pids = []
+
+    async def main():
+        async with gateway(workers=2, queue_bound=256) as gw:
+            await asyncio.wait_for(
+                asyncio.gather(*[one_client(gw.port, client, outcomes)
+                                 for client in range(N_CLIENTS)]),
+                timeout=120)
+            worker_pids.extend(
+                gw.session.scheduler.pool.worker_pids())
+            # Bound generous (256) vs ~100 requests: backpressure
+            # must never have fired.
+            assert outcomes["saw_429"] == []
+            # Drain-on-shutdown leaves nothing queued or running.
+            await gw.shutdown()
+            assert gw._open_jobs == 0
+            assert len(gw._queue) == 0
+            return gw.session.scheduler
+
+    scheduler = asyncio.run(main())
+
+    # -- cross-validation: byte-identical to in-process execution ----
+    for client in range(N_CLIENTS):
+        _, served = outcomes["chase"][client]
+        reference = execute_any(
+            job_from_dict(chase_spec(client))).to_dict()
+        assert comparable(served) == comparable(reference), \
+            f"chase-{client} diverged from in-process execution"
+        served_query = outcomes["query"][client]
+        reference = execute_any(
+            job_from_dict(query_spec_for(client))).to_dict()
+        assert comparable(served_query) == comparable(reference)
+    shared_results = {comparable(result)
+                      for result in outcomes["shared"].values()}
+    assert len(shared_results) == 1, \
+        "shared-fingerprint requests returned diverging results"
+    assert comparable(execute_any(job_from_dict(SHARED)).to_dict()) \
+        in shared_results
+
+    # -- no worker leak after drain + close --------------------------
+    assert scheduler.pool.worker_pids() == []
+    for pid in worker_pids:
+        for _ in range(200):              # close() reaps; allow 2s
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            else:
+                import time
+                time.sleep(0.01)
+        else:
+            raise AssertionError(f"worker {pid} outlived close()")
+
+
+def test_429_fires_exactly_above_the_queue_bound():
+    """With a queue bound of 1 and the runner pinned on a slow job,
+    the first extra submit queues (202) and the next bounces (429) --
+    backpressure is a function of queue depth, nothing else."""
+    async def main():
+        async with gateway(queue_bound=1) as gw:
+            _, _, first = await request(
+                gw.port, "POST", "/jobs",
+                body=spec("pin", constraints=DIVERGENT,
+                          instance="S(a).", max_steps=9_000))
+            for _ in range(500):
+                _, _, poll = await request(gw.port, "GET",
+                                           f"/jobs/{first['id']}")
+                if poll["status"] != "queued":
+                    break
+                await asyncio.sleep(0.01)
+            assert poll["status"] in ("running", "done")
+            statuses = []
+            for index in range(4):
+                status, headers, _ = await request(
+                    gw.port, "POST", "/jobs",
+                    body=spec(f"flood-{index}",
+                              instance=f"S(f{index})."))
+                statuses.append(status)
+                if status == 429:
+                    assert "retry-after" in headers
+            if poll["status"] == "running":
+                # One slot free: exactly the first flood submit
+                # queues, everything after bounces.
+                assert statuses[0] == 202
+                assert set(statuses[1:]) == {429}
+    asyncio.run(main())
+
+
+def test_burst_of_identical_submits_is_coherent():
+    """All clients racing the same fingerprint: whether each request
+    hits the cache fast path, dedups in a batch, or executes, every
+    returned result is the same deterministic outcome."""
+    async def main():
+        async with gateway(workers=2, queue_bound=256) as gw:
+            replies = await asyncio.gather(*[
+                request(gw.port, "POST", "/jobs?wait=1",
+                        body=spec("race", instance="S(r)."))
+                for _ in range(N_CLIENTS)])
+            assert {status for status, _, _ in replies} <= {200}
+            distinct = {comparable(reply["result"])
+                        for _, _, reply in replies}
+            assert len(distinct) == 1
+    asyncio.run(main())

@@ -168,6 +168,61 @@ def test_degraded_drain_honours_cancellation(monkeypatch):
     assert all(r.failure_reason == "cancelled" for r in killed)
 
 
+def test_worker_replacement_mid_batch():
+    """A worker SIGKILLed while chasing: its job surfaces as a
+    structured error, its siblings are untouched, and the pool spawns
+    a replacement so the rest of the batch still runs out-of-process.
+    """
+    import os
+    import signal
+
+    victim = make_job("victim", constraints=DIVERGENT, instance="S(a).",
+                      max_steps=50_000_000)
+    jobs = [victim] + [make_job(f"sib{i}", instance=f"S(s{i}).")
+                       for i in range(4)]
+    expected = {job.name: by_comparable(execute_job(job))
+                for job in jobs[1:]}
+    killed_pids = []
+
+    def on_event(event):
+        # The kill lands from inside the dispatch callback: the batch
+        # is mid-flight by construction, not by sleeping.
+        if event.kind == "started" and event.job == "victim":
+            pid = int(event.detail["worker"].removeprefix("pid-"))
+            killed_pids.append(pid)
+            os.kill(pid, signal.SIGKILL)
+
+    pool = WorkerPool(workers=2)
+    try:
+        results = pool.run(jobs, on_event=on_event)
+        by_name = {result.job: result for result in results}
+        assert killed_pids, "victim never reached a worker"
+        assert by_name["victim"].status == STATUS_ERROR
+        assert "worker exited" in by_name["victim"].failure_reason
+        for name, reference in expected.items():
+            assert by_comparable(by_name[name]) == reference
+        # The dead worker was replaced, not just buried: live workers
+        # exclude the killed pid and the next run stays out-of-process.
+        assert killed_pids[0] not in pool.worker_pids()
+        follow_up = pool.run([make_job("after1"),
+                              make_job("after2", instance="S(z).")])
+        assert all(r.status == "terminated" for r in follow_up)
+        assert all(r.worker.startswith("pid-") for r in follow_up)
+    finally:
+        pool.close()
+    assert pool.worker_pids() == []
+
+
+def test_worker_pids_reports_only_live_workers():
+    pool = WorkerPool(workers=2)
+    assert pool.worker_pids() == []           # lazy: nothing spawned yet
+    pool.run(small_batch())
+    pids = pool.worker_pids()
+    assert len(pids) == 2 and pool.alive_workers == 2
+    pool.close()
+    assert pool.worker_pids() == [] and pool.alive_workers == 0
+
+
 def test_worker_pool_validates_workers():
     with pytest.raises(ValueError):
         WorkerPool(workers=0)

@@ -193,6 +193,67 @@ def test_shared_cache_across_scheduler_instances():
     assert second.pool.executed == 0
 
 
+def test_cancellation_racing_completion_keeps_the_contract():
+    """A ``should_cancel`` probe that flips exactly when the first job
+    finishes: the batch must neither hang nor drop results -- every
+    slot comes back filled, in input order, with the already-finished
+    work kept and the never-started remainder marked cancelled."""
+    jobs = load(mixed_batch_specs(6, seed=13))
+    finished = []
+
+    def on_event(event):
+        if event.kind == "finished":
+            finished.append(event.job)
+
+    scheduler = BatchScheduler(workers=1, force_inprocess=True,
+                               on_event=on_event)
+    results = scheduler.run_batch(jobs,
+                                  should_cancel=lambda: bool(finished))
+    assert [r.job for r in results] == [job.name for job in jobs]
+    assert all(r is not None for r in results)
+    done = [r for r in results if r.status != "killed"]
+    cancelled = [r for r in results if r.status == "killed"]
+    assert done and cancelled                  # the race really raced
+    assert all(r.failure_reason == "cancelled" for r in cancelled)
+    # Cancelled results are timing artifacts: never cached, so a
+    # rerun without the probe executes them for real.
+    rerun = scheduler.run_batch(load(mixed_batch_specs(6, seed=13)))
+    assert all(r.status != "killed" for r in rerun)
+    assert [comparable(r) for r in rerun] == \
+        [comparable(execute_job(job)) for job in jobs]
+
+
+def test_cancellation_racing_completion_through_the_pool():
+    """Same race through real worker processes: cancellation mid-batch
+    terminates running workers, fills every result slot, and leaves
+    the scheduler usable for the next batch."""
+    jobs = load(mixed_batch_specs(8, seed=21))
+    seen = []
+
+    def on_event(event):
+        if event.kind == "finished":
+            seen.append(event.job)
+
+    scheduler = BatchScheduler(workers=2, on_event=on_event)
+    try:
+        results = scheduler.run_batch(
+            jobs, should_cancel=lambda: len(seen) >= 1)
+        assert [r.job for r in results] == [job.name for job in jobs]
+        assert all(r.status in ("terminated", "exceeded_budget",
+                                "killed", "error") for r in results)
+        assert any(r.status == "killed" and
+                   r.failure_reason == "cancelled" for r in results)
+        # The pool survives the cancellation: the same scheduler
+        # serves the next (uncancelled) batch correctly.
+        rerun = scheduler.run_batch(load(mixed_batch_specs(8, seed=21)))
+        assert all(r.status != "killed" for r in rerun)
+        assert [comparable(r) for r in rerun] == \
+            [comparable(execute_job(job)) for job in jobs]
+    finally:
+        scheduler.close()
+    assert scheduler.pool.worker_pids() == []
+
+
 def test_cached_events_are_emitted_on_warm_hits():
     events = []
     scheduler = BatchScheduler(workers=1, force_inprocess=True,
